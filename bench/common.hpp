@@ -1,0 +1,103 @@
+#pragma once
+// Shared machinery for the experiment harnesses (one binary per table /
+// figure of the paper; see DESIGN.md §3). Every harness is deterministic:
+// all randomness flows from fixed seeds.
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/scrubber.hpp"
+#include "flowgen/generator.hpp"
+#include "ml/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace scrubber::bench {
+
+/// Result of generating + online-balancing a traffic slice.
+struct BalancedTrace {
+  std::string site;
+  std::vector<net::FlowRecord> flows;           ///< balanced flows
+  core::BalanceTotals totals;                   ///< Table 2 numbers
+  std::vector<core::MinuteBalanceStats> minutes;///< Fig 3a/3c inputs
+};
+
+/// Generates `minutes` of traffic for `profile` and balances it online.
+inline BalancedTrace make_balanced(const flowgen::IxpProfile& profile,
+                                   std::uint64_t seed, std::uint32_t start,
+                                   std::uint32_t minutes,
+                                   flowgen::TrafficGenerator::Labeling labeling =
+                                       flowgen::TrafficGenerator::Labeling::
+                                           kBlackholeRegistry) {
+  flowgen::TrafficGenerator gen(profile, seed);
+  core::Balancer balancer(seed ^ 0xBA1A);
+  gen.generate_stream(start, minutes, labeling,
+                      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+                        balancer.add_minute(m, f);
+                      });
+  BalancedTrace out;
+  out.site = profile.name;
+  out.minutes = balancer.minute_stats();
+  out.totals = balancer.totals();
+  out.flows = balancer.take_balanced();
+  return out;
+}
+
+/// Standard train/test split of an aggregated dataset (2/3 - 1/3, §6.1).
+struct Split {
+  core::AggregatedDataset train;
+  core::AggregatedDataset test;
+};
+
+inline Split split_23(const core::AggregatedDataset& data, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto [train_idx, test_idx] = data.data.split_indices(2.0 / 3.0, rng);
+  return Split{data.subset(train_idx), data.subset(test_idx)};
+}
+
+/// F_beta=0.5 of predictions against dataset labels.
+inline double fbeta(const core::AggregatedDataset& data,
+                    const std::vector<int>& predictions) {
+  return ml::evaluate(data.data.labels(), predictions).f_beta(0.5);
+}
+
+/// Operator-grade curation used by the evaluation benches: accept rules
+/// with confidence >= 0.9 and >= 3 antecedent items, then decline any rule
+/// that pins neither a reflector source port nor fragments (the §5.1.3
+/// operators' domain knowledge). Returns the number of accepted rules.
+inline std::size_t curate_rules(arm::RuleSet& rules) {
+  core::accept_rules_above(rules, 0.9, 0.0, /*min_items=*/3);
+  std::size_t accepted = 0;
+  for (auto& rule : rules.rules()) {
+    if (rule.status != arm::RuleStatus::kAccepted) continue;
+    bool pinned = false;
+    for (const arm::Item item : rule.rule.antecedent) {
+      pinned |= item.attribute() == arm::Attribute::kSrcPort ||
+                item.attribute() == arm::Attribute::kFragment;
+    }
+    if (pinned) {
+      ++accepted;
+    } else {
+      rule.status = arm::RuleStatus::kDeclined;
+    }
+  }
+  return accepted;
+}
+
+/// Prints a section header for a reproduced table/figure.
+inline void print_header(const char* experiment_id, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("================================================================\n");
+}
+
+/// Prints the paper-vs-measured footnote used by EXPERIMENTS.md.
+inline void print_expectation(const char* text) {
+  std::printf("expected shape (paper): %s\n\n", text);
+}
+
+}  // namespace scrubber::bench

@@ -1,0 +1,52 @@
+// Figure 15 (Appendix A) — parameter sensitivity of Algorithm 1: remaining
+// rule count over the L_c x L_s loss-threshold grid. Paper: counts drop
+// steeply up to ~0.01 and flatten beyond — hence L_c = L_s = 0.01.
+
+#include "../bench/common.hpp"
+
+#include "arm/rules.hpp"
+
+int main() {
+  using namespace scrubber;
+  bench::print_header("Figure 15 (Appendix A)",
+                      "Algorithm 1 sensitivity: remaining rules over Lc x Ls");
+  bench::print_expectation(
+      "rule count decreases with both losses; little further reduction "
+      "beyond Lc = Ls = 0.01 (the chosen operating point)");
+
+  // One shared mined rule pool.
+  std::vector<net::FlowRecord> flows;
+  std::uint64_t seed = 1500;
+  for (const auto& profile : {flowgen::ixp_ce1(), flowgen::ixp_us1()}) {
+    const auto trace = bench::make_balanced(profile, seed++, 0, 24 * 60);
+    flows.insert(flows.end(), trace.flows.begin(), trace.flows.end());
+  }
+  arm::Itemizer itemizer;
+  std::vector<arm::Transaction> transactions;
+  transactions.reserve(flows.size());
+  for (const auto& flow : flows) transactions.push_back(itemizer.itemize(flow));
+
+  arm::FpGrowthParams params;
+  params.min_support = 0.002;
+  params.min_confidence = 0.8;
+  const auto mined =
+      arm::keep_blackhole_consequent(arm::mine_rules(transactions, params));
+  std::printf("blackhole-consequent rules before minimization: %zu\n\n",
+              mined.size());
+
+  const std::vector<double> losses{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1};
+  util::TextTable table;
+  std::vector<std::string> header{"Lc \\ Ls"};
+  for (const double ls : losses) header.push_back(util::fmt(ls, 4));
+  table.set_header(header);
+  for (const double lc : losses) {
+    std::vector<std::string> row{util::fmt(lc, 4)};
+    for (const double ls : losses) {
+      const auto minimized = arm::minimize_rules(mined, lc, ls);
+      row.push_back(util::fmt_count(minimized.size()));
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 16 (Appendix B) — correlation deliberately introduced by the
+// ranking aggregation. (a) CDF of the Spearman correlation matrix of the
+// aggregated feature columns, per ranking metric; a substantial fraction
+// of pairs correlate > 0.7/0.8. (b) PCA explained variance: ~20 components
+// cover ~0.8 of the variance, ~50 nearly all — the basis for the NN
+// pipeline's PCA stage.
+
+#include "../bench/common.hpp"
+
+#include "ml/pca.hpp"
+#include "ml/preprocess.hpp"
+
+int main() {
+  using namespace scrubber;
+  bench::print_header("Figure 16 (Appendix B)",
+                      "correlation introduced by flow aggregation");
+  bench::print_expectation(
+      "a meaningful share of column pairs has |spearman| > 0.7; first ~20 "
+      "principal components explain ~0.8 of total variance");
+
+  const auto trace = bench::make_balanced(flowgen::ixp_ce1(), 1600, 0, 24 * 60);
+  const core::Aggregator aggregator;
+  const auto aggregated = aggregator.aggregate(trace.flows);
+  std::printf("aggregated records: %zu\n\n", aggregated.size());
+
+  // Impute missing ranks so correlation/PCA see complete columns.
+  ml::Dataset data = aggregated.data;
+  const ml::Imputer imputer(-1.0);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) imputer.apply(data.row(i));
+
+  // ----- (a) Spearman correlation CDF among the numeric metric columns,
+  // grouped by metric as in the figure.
+  const char* metrics[] = {"pktsize", "bytes", "packets"};
+  util::TextTable corr;
+  corr.set_header({"metric", "pairs", ">0.5", ">0.7", ">0.8"});
+  for (const char* metric : metrics) {
+    std::vector<std::size_t> cols;
+    for (std::size_t j = 0; j < data.n_cols(); ++j) {
+      const auto& name = data.column(j).name;
+      if (data.column(j).kind == ml::ColumnKind::kNumeric &&
+          name.find(std::string("/") + metric + "/") != std::string::npos) {
+        cols.push_back(j);
+      }
+    }
+    // Column vectors.
+    std::vector<std::vector<double>> series(cols.size());
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      series[k].reserve(data.n_rows());
+      for (std::size_t i = 0; i < data.n_rows(); ++i)
+        series[k].push_back(data.at(i, cols[k]));
+    }
+    std::size_t pairs = 0, gt5 = 0, gt7 = 0, gt8 = 0;
+    for (std::size_t a = 0; a < series.size(); ++a) {
+      for (std::size_t b = a + 1; b < series.size(); ++b) {
+        const double rho = std::abs(util::spearman(series[a], series[b]));
+        ++pairs;
+        gt5 += (rho > 0.5);
+        gt7 += (rho > 0.7);
+        gt8 += (rho > 0.8);
+      }
+    }
+    corr.add_row({metric, util::fmt_count(pairs),
+                  util::fmt_pct(static_cast<double>(gt5) / pairs),
+                  util::fmt_pct(static_cast<double>(gt7) / pairs),
+                  util::fmt_pct(static_cast<double>(gt8) / pairs)});
+  }
+  std::printf("(a) Spearman correlation among aggregated columns:\n%s\n",
+              corr.render().c_str());
+
+  // ----- (b) PCA explained variance on the standardized feature matrix.
+  ml::Standardizer standardizer;
+  standardizer.fit(data);
+  const ml::Dataset standardized = standardizer.apply_to_dataset(data);
+  ml::Pca pca(0);
+  pca.fit(standardized);
+  std::printf("(b) PCA cumulative explained variance:\n");
+  for (const std::size_t k : {1u, 5u, 10u, 20u, 30u, 50u, 75u, 100u, 150u}) {
+    const double ev = pca.explained_variance(k);
+    std::printf("  %3zu components: %6s |%s|\n", static_cast<std::size_t>(k),
+                util::fmt_pct(ev, 1).c_str(), util::bar(ev, 40).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 4a — service distribution: share of well-known DDoS ports across
+// the benign class, the blackholing class (ML training set, all IXPs), and
+// the self-attack set. Paper: benign ~7.5% vs blackholing ~87.5%; the
+// blackholing and self-attack classes carry an order of magnitude more UDP
+// fragments than benign.
+
+#include <array>
+#include <map>
+
+#include "../bench/common.hpp"
+
+namespace {
+
+struct ClassStats {
+  std::uint64_t flows = 0;
+  std::uint64_t ddos_port_flows = 0;
+  std::uint64_t fragment_flows = 0;
+  std::map<scrubber::net::DdosVector, std::uint64_t> per_vector;
+
+  void add(const scrubber::net::FlowRecord& flow) {
+    ++flows;
+    if (const auto v = flow.vector()) {
+      ++ddos_port_flows;
+      ++per_vector[*v];
+      if (*v == scrubber::net::DdosVector::kUdpFragment) ++fragment_flows;
+    }
+  }
+
+  [[nodiscard]] double ddos_share() const {
+    return flows == 0 ? 0.0
+                      : static_cast<double>(ddos_port_flows) /
+                            static_cast<double>(flows);
+  }
+  [[nodiscard]] double fragment_share() const {
+    return flows == 0 ? 0.0
+                      : static_cast<double>(fragment_flows) /
+                            static_cast<double>(flows);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace scrubber;
+  bench::print_header("Figure 4a",
+                      "share of well-known DDoS ports per traffic class");
+  bench::print_expectation(
+      "benign ~7.5% DDoS ports; blackholing >~80%; SAS highest; blackholing "
+      "and SAS carry ~10x the benign UDP-fragment share");
+
+  ClassStats benign, blackhole, sas;
+
+  std::uint64_t seed = 4242;
+  for (const auto& profile : flowgen::all_ixp_profiles()) {
+    const std::uint32_t minutes =
+        profile.benign_flows_per_minute > 1000.0 ? 24 * 60 : 2 * 24 * 60;
+    const auto trace = bench::make_balanced(profile, seed++, 0, minutes);
+    for (const auto& flow : trace.flows) {
+      (flow.blackholed ? blackhole : benign).add(flow);
+    }
+  }
+  const auto sas_trace = bench::make_balanced(
+      flowgen::self_attack_profile(), seed++, 0, 24 * 60,
+      flowgen::TrafficGenerator::Labeling::kGroundTruth);
+  for (const auto& flow : sas_trace.flows) {
+    if (flow.blackholed) sas.add(flow);  // SAS baseline: attack flows only
+  }
+
+  util::TextTable table;
+  table.set_header({"class", "flows", "DDoS-port share", "UDP-fragm. share"});
+  table.add_row({"benign (ML set)", util::fmt_count(benign.flows),
+                 util::fmt_pct(benign.ddos_share()),
+                 util::fmt_pct(benign.fragment_share())});
+  table.add_row({"blackholing (ML set)", util::fmt_count(blackhole.flows),
+                 util::fmt_pct(blackhole.ddos_share()),
+                 util::fmt_pct(blackhole.fragment_share())});
+  table.add_row({"self-attack (SAS)", util::fmt_count(sas.flows),
+                 util::fmt_pct(sas.ddos_share()),
+                 util::fmt_pct(sas.fragment_share())});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nper-vector share within each class:\n");
+  util::TextTable vectors;
+  vectors.set_header({"vector", "benign", "blackholing", "SAS"});
+  for (const auto& sig : net::vector_signatures()) {
+    const auto share = [&](const ClassStats& c) {
+      const auto it = c.per_vector.find(sig.vector);
+      const std::uint64_t n = it == c.per_vector.end() ? 0 : it->second;
+      return util::fmt_pct(c.flows == 0 ? 0.0
+                                        : static_cast<double>(n) /
+                                              static_cast<double>(c.flows));
+    };
+    vectors.add_row({std::string(net::vector_name(sig.vector)), share(benign),
+                     share(blackhole), share(sas)});
+  }
+  std::fputs(vectors.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the pipeline:
+// prefix-trie longest-prefix match, blackhole-registry labeling, flow
+// itemization, WoE encoding, aggregation, FP-Growth mining, and per-model
+// single-record prediction.
+
+#include <benchmark/benchmark.h>
+
+#include "arm/fpgrowth.hpp"
+#include "arm/item.hpp"
+#include "bgp/blackhole_registry.hpp"
+#include "core/aggregator.hpp"
+#include "core/balancer.hpp"
+#include "flowgen/generator.hpp"
+#include "ml/pipeline.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace {
+
+using namespace scrubber;
+
+std::vector<net::FlowRecord> sample_flows(std::size_t minutes = 240) {
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 9001);
+  const auto trace = gen.generate(0, static_cast<std::uint32_t>(minutes));
+  return trace.flows;
+}
+
+void BM_PrefixTrieMatch(benchmark::State& state) {
+  util::Rng rng(1);
+  net::PrefixTrie<int> trie;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    trie.insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                                static_cast<std::uint8_t>(rng.range(8, 32))),
+                i);
+  }
+  std::uint32_t probe = 12345;
+  for (auto _ : state) {
+    probe = probe * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(trie.match(net::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_PrefixTrieMatch)->Arg(100)->Arg(3000)->Arg(30000);
+
+void BM_RegistryIsBlackholed(benchmark::State& state) {
+  util::Rng rng(2);
+  bgp::BlackholeRegistry registry;
+  for (int i = 0; i < 3000; ++i) {
+    registry.announce(
+        net::Ipv4Prefix::host(net::Ipv4Address(static_cast<std::uint32_t>(rng()))),
+        static_cast<std::uint32_t>(rng.below(10000)));
+  }
+  std::uint32_t probe = 777;
+  for (auto _ : state) {
+    probe = probe * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(registry.is_blackholed(net::Ipv4Address(probe), 5000));
+  }
+}
+BENCHMARK(BM_RegistryIsBlackholed);
+
+void BM_Itemize(benchmark::State& state) {
+  const auto flows = sample_flows(30);
+  const arm::Itemizer itemizer;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(itemizer.itemize(flows[i % flows.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Itemize);
+
+void BM_FpGrowthMine(benchmark::State& state) {
+  const auto flows = sample_flows(480);
+  const auto balanced = core::balance_trace(flows, 1);
+  const arm::Itemizer itemizer;
+  std::vector<arm::Transaction> transactions;
+  transactions.reserve(balanced.size());
+  for (const auto& flow : balanced) transactions.push_back(itemizer.itemize(flow));
+  arm::FpGrowthParams params;
+  params.min_support = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arm::mine_rules(transactions, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(transactions.size()));
+}
+BENCHMARK(BM_FpGrowthMine);
+
+void BM_BalanceMinute(benchmark::State& state) {
+  const auto flows = sample_flows(60);
+  // Group by minute once.
+  std::vector<std::pair<std::size_t, std::size_t>> bins;
+  std::size_t start = 0;
+  while (start < flows.size()) {
+    std::size_t end = start;
+    while (end < flows.size() && flows[end].minute == flows[start].minute) ++end;
+    bins.emplace_back(start, end);
+    start = end;
+  }
+  std::size_t b = 0;
+  for (auto _ : state) {
+    core::Balancer balancer(b);
+    const auto [lo, hi] = bins[b % bins.size()];
+    balancer.add_minute(flows[lo].minute,
+                        std::span<const net::FlowRecord>(flows.data() + lo, hi - lo));
+    benchmark::DoNotOptimize(balancer.balanced().size());
+    ++b;
+  }
+}
+BENCHMARK(BM_BalanceMinute);
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto flows = sample_flows(240);
+  const auto balanced = core::balance_trace(flows, 1);
+  const core::Aggregator aggregator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.aggregate(balanced));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(balanced.size()));
+}
+BENCHMARK(BM_Aggregate);
+
+/// Single-record prediction latency per model (the mcc column's substance).
+void BM_PipelinePredict(benchmark::State& state) {
+  static const auto data = [] {
+    const auto flows = sample_flows(36 * 60);
+    const auto balanced = core::balance_trace(flows, 1);
+    const core::Aggregator aggregator;
+    return aggregator.aggregate(balanced);
+  }();
+  const auto kind = static_cast<ml::ModelKind>(state.range(0));
+  ml::Pipeline pipeline = ml::make_model_pipeline(kind);
+  pipeline.fit(data.data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.predict(data.data.row(i % data.size())));
+    ++i;
+  }
+  state.SetLabel(std::string(ml::model_kind_name(kind)));
+}
+BENCHMARK(BM_PipelinePredict)
+    ->Arg(static_cast<int>(ml::ModelKind::kXgb))
+    ->Arg(static_cast<int>(ml::ModelKind::kDecisionTree))
+    ->Arg(static_cast<int>(ml::ModelKind::kLinearSvm))
+    ->Arg(static_cast<int>(ml::ModelKind::kNeuralNet))
+    ->Arg(static_cast<int>(ml::ModelKind::kNaiveBayesGaussian));
+
+}  // namespace

@@ -1,0 +1,112 @@
+// §5.1.3 — interpretability study with operators: subjects curate the
+// rules mined from the SAS and the resulting accept-set is matched back
+// against ground truth. Paper: subjects correctly drop 76.73% of DDoS
+// traffic while dropping only 0.43% of benign traffic, in ~6.6 minutes.
+//
+// The human subjects are modeled as threshold policies with differing
+// strictness plus a small per-rule error rate (operators occasionally
+// misjudge a rule) — the measurable quantities are the same two rates.
+
+#include "../bench/common.hpp"
+
+#include "arm/rules.hpp"
+
+namespace {
+
+using namespace scrubber;
+
+/// A simulated study subject: accepts rules above a personal confidence
+/// bar, flipping each decision with probability `error_rate`. All subjects
+/// apply the same piece of domain knowledge the paper's experts bring:
+/// a reflection-attack filter must pin the reflector's source port (or
+/// match fragments) — rules without such an item would blanket-drop
+/// legitimate traffic and are declined regardless of mined confidence
+/// (confidence on the attack-dense SAS overstates broad rules).
+struct Subject {
+  const char* name;
+  double confidence_bar;
+  double error_rate;
+};
+
+bool is_deployable(const arm::TaggingRule& rule) {
+  for (const arm::Item item : rule.rule.antecedent) {
+    if (item.attribute() == arm::Attribute::kSrcPort ||
+        item.attribute() == arm::Attribute::kFragment) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Operator study (§5.1.3)",
+                      "curated rule sets matched against SAS ground truth");
+  bench::print_expectation(
+      "subjects drop a large majority of DDoS traffic (~77% in the paper) "
+      "at near-zero benign drop (~0.4%)");
+
+  // Rules are mined on the SAS, as in the study.
+  const auto sas = bench::make_balanced(
+      flowgen::self_attack_profile(), 555, 0, 2 * 24 * 60,
+      flowgen::TrafficGenerator::Labeling::kGroundTruth);
+  core::ScrubberConfig config;
+  config.mining.min_support = 0.005;
+  core::IxpScrubber scrubber(config);
+  auto mined = scrubber.mine_tagging_rules(sas.flows);
+  std::printf("rules presented to subjects: %zu (paper: 38)\n\n", mined.size());
+
+  // Fresh evaluation traffic from the same setup (disjoint time range).
+  const auto eval = bench::make_balanced(
+      flowgen::self_attack_profile(), 556, 10 * 24 * 60, 24 * 60,
+      flowgen::TrafficGenerator::Labeling::kGroundTruth);
+
+  const Subject subjects[] = {
+      {"operator-1", 0.90, 0.02}, {"operator-2", 0.92, 0.05},
+      {"author-1", 0.88, 0.08},   {"author-2", 0.95, 0.05},
+      {"author-3", 0.85, 0.10},
+  };
+
+  util::TextTable table;
+  table.set_header({"subject", "#accepted", "DDoS dropped", "benign dropped"});
+  double mean_ddos = 0.0, mean_benign = 0.0;
+  util::Rng rng(77);
+  const arm::Itemizer itemizer;
+  for (const auto& subject : subjects) {
+    arm::RuleSet curated = mined;
+    std::size_t accepted = 0;
+    for (auto& rule : curated.rules()) {
+      const bool deployable = is_deployable(rule);
+      bool accept = deployable && rule.rule.confidence >= subject.confidence_bar;
+      // Subjects err on borderline judgements (confidence calls), never on
+      // the hard domain rule — no expert accepts a filter that would
+      // blanket-drop legitimate traffic.
+      if (deployable && rng.chance(subject.error_rate)) accept = !accept;
+      rule.status = accept ? arm::RuleStatus::kAccepted : arm::RuleStatus::kDeclined;
+      accepted += accept;
+    }
+    std::uint64_t ddos = 0, ddos_dropped = 0, benign = 0, benign_dropped = 0;
+    for (const auto& flow : eval.flows) {
+      const bool dropped = curated.any_accepted_match(flow, itemizer);
+      if (flow.blackholed) {
+        ++ddos;
+        ddos_dropped += dropped;
+      } else {
+        ++benign;
+        benign_dropped += dropped;
+      }
+    }
+    const double ddos_rate = static_cast<double>(ddos_dropped) / ddos;
+    const double benign_rate = static_cast<double>(benign_dropped) / benign;
+    mean_ddos += ddos_rate;
+    mean_benign += benign_rate;
+    table.add_row({subject.name, util::fmt_count(accepted),
+                   util::fmt_pct(ddos_rate), util::fmt_pct(benign_rate)});
+  }
+  table.add_row({"mean", "-", util::fmt_pct(mean_ddos / 5.0),
+                 util::fmt_pct(mean_benign / 5.0)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("(paper means: 76.73%% DDoS dropped, 0.43%% benign dropped)\n");
+  return 0;
+}

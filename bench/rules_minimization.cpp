@@ -1,0 +1,71 @@
+// §5.1.1 — Rule mining pipeline counts: FP-Growth at min confidence 0.8
+// produces a large raw rule set; dropping non-{blackhole} consequents and
+// Algorithm 1 minimization (L_c = L_s = 0.01) shrink it to a curatable
+// size. Paper: 7,859 -> 1,469 -> 367 on the full dataset; the reproducible
+// claim is the successive order-of-magnitude reduction.
+
+#include "../bench/common.hpp"
+
+#include "core/acl.hpp"
+
+int main() {
+  using namespace scrubber;
+  bench::print_header("Rule mining (§5.1.1)",
+                      "FP-Growth -> consequent filter -> Algorithm 1");
+  bench::print_expectation(
+      "mined >> blackhole-consequent >> minimized (paper: 7859 -> 1469 -> "
+      "367); minimization terminates in seconds");
+
+  // Merge two days from the three largest IXPs for a richer rule pool.
+  std::vector<net::FlowRecord> flows;
+  std::uint64_t seed = 7000;
+  for (const auto& profile :
+       {flowgen::ixp_ce1(), flowgen::ixp_us1(), flowgen::ixp_se()}) {
+    const auto trace = bench::make_balanced(profile, seed++, 0, 24 * 60);
+    flows.insert(flows.end(), trace.flows.begin(), trace.flows.end());
+  }
+
+  core::ScrubberConfig config;
+  config.mining.min_support = 0.002;  // surface rarer vectors too
+  core::IxpScrubber scrubber(config);
+
+  util::Stopwatch sw;
+  std::array<std::size_t, 3> counts{};
+  auto rules = scrubber.mine_tagging_rules(flows, &counts);
+  const double elapsed = sw.seconds();
+
+  util::TextTable table;
+  table.set_header({"stage", "#rules"});
+  table.add_row({"mined (FP-Growth, conf >= 0.8)", util::fmt_count(counts[0])});
+  table.add_row({"consequent == {blackhole}", util::fmt_count(counts[1])});
+  table.add_row({"after Algorithm 1 (Lc=Ls=0.01)", util::fmt_count(counts[2])});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("mining + minimization wall time: %.2f s (paper: < 60 s)\n",
+              elapsed);
+
+  // Show the operator's view of the top rules (Figure 6 columns).
+  std::printf("\ntop minimized rules by antecedent support (operator UI view):\n");
+  auto& list = rules.rules();
+  std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+    return a.rule.support > b.rule.support;
+  });
+  util::TextTable ui;
+  ui.set_header({"id", "antecedent", "confidence", "support"});
+  for (std::size_t i = 0; i < list.size() && i < 12; ++i) {
+    ui.add_row({list[i].id, list[i].antecedent_string(),
+                util::fmt(list[i].rule.confidence, 5),
+                util::fmt(list[i].rule.support, 5)});
+  }
+  std::fputs(ui.render().c_str(), stdout);
+
+  core::accept_rules_above(rules, 0.9);
+  std::printf("\ngenerated ACL from accepted rules (first lines):\n");
+  const std::string acl = core::generate_acl(rules);
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; pos < acl.size() && lines < 8; ++lines) {
+    const std::size_t next = acl.find('\n', pos);
+    std::printf("  %s\n", acl.substr(pos, next - pos).c_str());
+    pos = next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Live detection with the production LiveDetector: continuous learning
+// plus streaming detection (the operational loop of Figure 1/Figure 5).
+//
+// The detector ingests labeled live traffic minute by minute. It keeps a
+// sliding window of balanced training data, retrains the two-step model on
+// schedule (daily over the trailing window, §6.3's recommendation), and
+// scores every sufficiently-loaded target of every live minute, emitting
+// detections together with the ACL entries an operator could push to the
+// switches.
+//
+// Run: ./examples/live_detection
+
+#include <cstdio>
+
+#include "core/live_detector.hpp"
+#include "flowgen/generator.hpp"
+
+int main() {
+  using namespace scrubber;
+  constexpr std::uint32_t kDay = 24 * 60;
+
+  core::LiveDetectorConfig config;
+  config.warmup_min = kDay;            // collect one day before first training
+  config.retrain_interval_min = kDay;  // then retrain daily
+  config.training_window_min = 7 * kDay;
+
+  std::size_t shown = 0;
+  core::LiveDetector detector(config, [&](const core::Detection& d) {
+    if (shown >= 12) return;
+    ++shown;
+    std::printf("  [m=%5u] target %-15s score %.2f  flows %u", d.minute,
+                d.target.to_string().c_str(), d.score, d.flow_count);
+    if (d.vector) std::printf("  vector %s", std::string(net::vector_name(*d.vector)).c_str());
+    std::printf("\n");
+    if (!d.acl_entries.empty())
+      std::printf("      ACL: %s\n", d.acl_entries.front().c_str());
+  });
+
+  std::printf("streaming two days of IXP-US1 traffic through LiveDetector\n");
+  std::printf("(day 1 = warmup/training, day 2 = detection; first 12 shown)\n\n");
+
+  flowgen::TrafficGenerator generator(flowgen::ixp_us1(), 31337);
+  generator.generate_stream(
+      0, 2 * kDay, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+        detector.ingest_minute(minute, flows);
+      });
+
+  std::printf("\nsummary: %llu minutes processed, %u retrainings, "
+              "%llu target-minute detections\n",
+              static_cast<unsigned long long>(detector.minutes_processed()),
+              detector.retrain_count(),
+              static_cast<unsigned long long>(detector.detections()));
+  std::size_t accepted = 0;
+  for (const auto& rule : detector.scrubber().rules().rules())
+    accepted += (rule.status == arm::RuleStatus::kAccepted);
+  std::printf("active tagging rules: %zu accepted of %zu mined\n", accepted,
+              detector.scrubber().rules().size());
+  std::printf("(nothing is actually filtered in this demo)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Rule curation workflow (Step 1, §5.1 / Figure 6).
+//
+// Mines tagging rules from balanced traffic, renders them like the
+// operator UI (id, antecedent, confidence, support, status), applies a
+// scripted curation pass (accept/decline/staging), exports the curated set
+// to JSON — the paper's released-rules format (Appendix F) — re-imports
+// it, merges freshly mined rules into the curated set, and prints the
+// resulting ACL.
+//
+// Run: ./examples/rule_curation [rules.json]
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/acl.hpp"
+#include "core/balancer.hpp"
+#include "core/scrubber.hpp"
+#include "flowgen/generator.hpp"
+
+namespace {
+
+using namespace scrubber;
+
+std::vector<net::FlowRecord> balanced_trace(std::uint64_t seed,
+                                            std::uint32_t start) {
+  flowgen::TrafficGenerator generator(flowgen::ixp_ce1(), seed);
+  core::Balancer balancer(seed);
+  generator.generate_stream(
+      start, 12 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        balancer.add_minute(m, f);
+      });
+  return balancer.take_balanced();
+}
+
+void print_ui(const arm::RuleSet& rules, std::size_t limit) {
+  std::printf("%-10s %-58s %-9s %-9s %s\n", "id", "antecedent", "conf",
+              "support", "status");
+  std::size_t shown = 0;
+  for (const auto& rule : rules.rules()) {
+    if (shown++ >= limit) break;
+    std::printf("%-10s %-58s %-9.5f %-9.5f %s\n", rule.id.c_str(),
+                rule.antecedent_string().c_str(), rule.rule.confidence,
+                rule.rule.support,
+                std::string(arm::rule_status_name(rule.status)).c_str());
+  }
+  if (rules.size() > limit) std::printf("... (%zu total)\n", rules.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "curated_rules.json";
+
+  // ----- mine fresh rules -----
+  std::printf("mining tagging rules from 12h of IXP-CE1 traffic...\n");
+  const auto flows = balanced_trace(6001, 0);
+  core::ScrubberConfig config;
+  config.mining.min_support = 0.002;
+  core::IxpScrubber scrubber(config);
+  std::array<std::size_t, 3> counts{};
+  arm::RuleSet rules = scrubber.mine_tagging_rules(flows, &counts);
+  std::printf("mined %zu -> blackhole-consequent %zu -> minimized %zu\n\n",
+              counts[0], counts[1], counts[2]);
+  print_ui(rules, 10);
+
+  // ----- scripted curation pass (the operator's decisions) -----
+  std::size_t accepted = 0, declined = 0;
+  for (auto& rule : rules.rules()) {
+    if (rule.rule.confidence >= 0.95) {
+      rule.status = arm::RuleStatus::kAccepted;
+      rule.note = "auto-accepted: high confidence";
+      ++accepted;
+    } else if (rule.rule.confidence < 0.85) {
+      rule.status = arm::RuleStatus::kDeclined;
+      ++declined;
+    }  // middle band stays in staging for the next review round
+  }
+  std::printf("\ncuration: %zu accepted, %zu declined, %zu staging\n", accepted,
+              declined, rules.size() - accepted - declined);
+
+  // ----- export (Appendix F format) -----
+  {
+    std::ofstream out(path);
+    out << rules.to_json().dump(2) << "\n";
+  }
+  std::printf("exported curated rules to %s\n", path);
+
+  // ----- import + merge freshly mined rules (the growing set, §5.1.2) -----
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  arm::RuleSet curated = arm::RuleSet::from_json(util::Json::parse(text));
+  std::printf("re-imported %zu rules\n", curated.size());
+
+  const auto fresh_flows = balanced_trace(6002, 24 * 60);  // next day
+  arm::RuleSet fresh = scrubber.mine_tagging_rules(fresh_flows);
+  const std::size_t added = curated.merge(fresh);
+  std::printf("merged next day's mining: %zu new rules (existing curation "
+              "preserved)\n",
+              added);
+
+  // ----- deployable ACL from the accepted rules -----
+  std::printf("\nACL generated from accepted rules:\n%s",
+              core::generate_acl(curated, core::AclAction::kDeny).c_str());
+  return 0;
+}

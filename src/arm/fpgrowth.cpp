@@ -1,0 +1,207 @@
+#include "arm/fpgrowth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+namespace scrubber::arm {
+namespace {
+
+/// FP-tree node. Children are kept in a small sorted vector (item alphabets
+/// here are tiny), siblings of the same item are chained via `next`.
+struct FpNode {
+  Item item;
+  std::uint64_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next = nullptr;  // header-table chain
+  std::vector<std::unique_ptr<FpNode>> children;
+
+  [[nodiscard]] FpNode* child_for(Item target) {
+    for (auto& child : children) {
+      if (child->item == target) return child.get();
+    }
+    return nullptr;
+  }
+};
+
+/// An FP-tree with its header table (item -> first node in chain).
+class FpTree {
+ public:
+  FpTree() : root_(std::make_unique<FpNode>()) {}
+
+  /// Inserts a frequency-ordered transaction with multiplicity `count`.
+  void insert(const std::vector<Item>& ordered_items, std::uint64_t count) {
+    FpNode* node = root_.get();
+    for (const Item item : ordered_items) {
+      FpNode* child = node->child_for(item);
+      if (child == nullptr) {
+        auto owned = std::make_unique<FpNode>();
+        owned->item = item;
+        owned->parent = node;
+        child = owned.get();
+        node->children.push_back(std::move(owned));
+        // Prepend to the header chain.
+        auto [it, inserted] = header_.try_emplace(item.packed(), child);
+        if (!inserted) {
+          child->next = it->second;
+          it->second = child;
+        }
+      }
+      child->count += count;
+      node = child;
+    }
+  }
+
+  [[nodiscard]] const std::unordered_map<std::uint32_t, FpNode*>& header() const {
+    return header_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return header_.empty(); }
+
+ private:
+  std::unique_ptr<FpNode> root_;
+  std::unordered_map<std::uint32_t, FpNode*> header_;
+};
+
+/// Recursive FP-Growth over conditional trees.
+class Miner {
+ public:
+  Miner(std::uint64_t min_count, std::size_t max_size,
+        std::vector<FrequentItemset>& out)
+      : min_count_(min_count), max_size_(max_size), out_(out) {}
+
+  void mine(const FpTree& tree, std::vector<Item>& suffix) {
+    // Items in this (conditional) tree with their total counts.
+    std::vector<std::pair<Item, std::uint64_t>> items;
+    for (const auto& [packed, first] : tree.header()) {
+      std::uint64_t total = 0;
+      for (const FpNode* node = first; node != nullptr; node = node->next)
+        total += node->count;
+      if (total >= min_count_) items.emplace_back(unpack(packed), total);
+    }
+    // Ascending frequency: mine the rarest item first (classic order).
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second || (a.second == b.second && a.first < b.first);
+    });
+
+    for (const auto& [item, total] : items) {
+      suffix.push_back(item);
+      std::vector<Item> itemset = suffix;
+      std::sort(itemset.begin(), itemset.end());
+      out_.push_back(FrequentItemset{std::move(itemset), total});
+
+      if (suffix.size() < max_size_) {
+        // Build the conditional tree of this item from its prefix paths.
+        FpTree conditional;
+        const FpNode* first = nullptr;
+        for (const auto& [packed, head] : tree.header()) {
+          if (unpack(packed) == item) {
+            first = head;
+            break;
+          }
+        }
+        for (const FpNode* node = first; node != nullptr; node = node->next) {
+          std::vector<Item> path;
+          for (const FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
+               up = up->parent) {
+            path.push_back(up->item);
+          }
+          std::reverse(path.begin(), path.end());
+          if (!path.empty()) conditional.insert(path, node->count);
+        }
+        if (!conditional.empty()) mine(conditional, suffix);
+      }
+      suffix.pop_back();
+    }
+  }
+
+ private:
+  [[nodiscard]] static Item unpack(std::uint32_t packed) noexcept {
+    return Item(static_cast<Attribute>(packed >> 24), packed & 0x00FFFFFF);
+  }
+
+  std::uint64_t min_count_;
+  std::size_t max_size_;
+  std::vector<FrequentItemset>& out_;
+};
+
+}  // namespace
+
+std::vector<FrequentItemset> mine_frequent_itemsets(
+    const std::vector<Transaction>& transactions, const FpGrowthParams& params) {
+  std::vector<FrequentItemset> out;
+  if (transactions.empty()) return out;
+  const auto min_count = static_cast<std::uint64_t>(
+      params.min_support * static_cast<double>(transactions.size()));
+  const std::uint64_t threshold = std::max<std::uint64_t>(min_count, 1);
+
+  // First pass: global item counts.
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const auto& tx : transactions) {
+    for (const Item item : tx) ++counts[item.packed()];
+  }
+
+  // Second pass: build the tree with items ordered by descending frequency.
+  FpTree tree;
+  std::vector<Item> ordered;
+  for (const auto& tx : transactions) {
+    ordered.clear();
+    for (const Item item : tx) {
+      if (counts[item.packed()] >= threshold) ordered.push_back(item);
+    }
+    std::sort(ordered.begin(), ordered.end(), [&](Item a, Item b) {
+      const std::uint64_t ca = counts[a.packed()];
+      const std::uint64_t cb = counts[b.packed()];
+      return ca > cb || (ca == cb && a < b);
+    });
+    if (!ordered.empty()) tree.insert(ordered, 1);
+  }
+
+  std::vector<Item> suffix;
+  Miner miner(threshold, params.max_itemset_size, out);
+  miner.mine(tree, suffix);
+  return out;
+}
+
+std::vector<MinedRule> generate_rules(const std::vector<FrequentItemset>& itemsets,
+                                      std::uint64_t n_transactions,
+                                      const FpGrowthParams& params) {
+  std::vector<MinedRule> rules;
+  if (n_transactions == 0) return rules;
+
+  // Index itemsets by their sorted item vector for O(log n) count lookup.
+  std::map<std::vector<Item>, std::uint64_t> count_of;
+  for (const auto& fi : itemsets) count_of[fi.items] = fi.count;
+
+  const double n = static_cast<double>(n_transactions);
+  for (const auto& fi : itemsets) {
+    if (fi.items.size() < 2) continue;
+    for (std::size_t c = 0; c < fi.items.size(); ++c) {
+      std::vector<Item> antecedent;
+      antecedent.reserve(fi.items.size() - 1);
+      for (std::size_t k = 0; k < fi.items.size(); ++k) {
+        if (k != c) antecedent.push_back(fi.items[k]);
+      }
+      const auto it = count_of.find(antecedent);
+      if (it == count_of.end() || it->second == 0) continue;
+      const double confidence =
+          static_cast<double>(fi.count) / static_cast<double>(it->second);
+      if (confidence < params.min_confidence) continue;
+      MinedRule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = fi.items[c];
+      rule.support = static_cast<double>(it->second) / n;
+      rule.confidence = confidence;
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+std::vector<MinedRule> mine_rules(const std::vector<Transaction>& transactions,
+                                  const FpGrowthParams& params) {
+  const auto itemsets = mine_frequent_itemsets(transactions, params);
+  return generate_rules(itemsets, transactions.size(), params);
+}
+
+}  // namespace scrubber::arm

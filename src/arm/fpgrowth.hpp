@@ -1,0 +1,57 @@
+#pragma once
+// FP-Growth frequent itemset mining [Han, Pei & Yin 2000] and association
+// rule generation — the rule mining engine of Step 1 (§5.1.1).
+//
+// Transactions are compact item vectors; the miner builds an FP-tree of
+// frequency-ordered items and recursively mines conditional trees. Rule
+// generation enumerates, for each frequent itemset, all single-item
+// consequents (the paper's pipeline later keeps only consequent ==
+// {blackhole}) and computes antecedent support and confidence.
+
+#include <cstdint>
+#include <vector>
+
+#include "arm/item.hpp"
+
+namespace scrubber::arm {
+
+/// A frequent itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<Item> items;  // sorted
+  std::uint64_t count = 0;
+};
+
+/// An association rule A -> C with the paper's metrics: `support` is the
+/// antecedent support s (share of transactions containing A), `confidence`
+/// is c = P(C | A).
+struct MinedRule {
+  std::vector<Item> antecedent;  // sorted
+  Item consequent;
+  double support = 0.0;
+  double confidence = 0.0;
+
+  friend bool operator==(const MinedRule&, const MinedRule&) = default;
+};
+
+/// FP-Growth configuration.
+struct FpGrowthParams {
+  double min_support = 0.01;      ///< minimum itemset support (fraction)
+  double min_confidence = 0.8;    ///< minimum rule confidence
+  std::size_t max_itemset_size = 6;  ///< cap on mined itemset cardinality
+};
+
+/// Mines all frequent itemsets from the transactions.
+[[nodiscard]] std::vector<FrequentItemset> mine_frequent_itemsets(
+    const std::vector<Transaction>& transactions, const FpGrowthParams& params);
+
+/// Generates association rules from frequent itemsets: every single-item
+/// consequent split with confidence >= min_confidence.
+[[nodiscard]] std::vector<MinedRule> generate_rules(
+    const std::vector<FrequentItemset>& itemsets, std::uint64_t n_transactions,
+    const FpGrowthParams& params);
+
+/// Convenience: mine itemsets and generate rules in one call.
+[[nodiscard]] std::vector<MinedRule> mine_rules(
+    const std::vector<Transaction>& transactions, const FpGrowthParams& params);
+
+}  // namespace scrubber::arm

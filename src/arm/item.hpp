@@ -1,0 +1,84 @@
+#pragma once
+// Itemization of flow headers for association rule mining (§5.1.1).
+//
+// A flow is converted into a small transaction of attribute=value items:
+// transport protocol, source/destination port class, and a packet-size
+// bucket, plus the {blackhole} label item. Ports that are not well-known
+// service ports collapse into a complement item (rendered like the
+// "~{0,17,19,...}" notation of the paper's released rule list), which is
+// what lets one mined rule cover "NTP reflection sprayed over arbitrary
+// destination ports".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace scrubber::arm {
+
+/// Attribute of an item. Values are packed with the attribute into one
+/// 32-bit Item for fast set operations.
+enum class Attribute : std::uint8_t {
+  kProtocol = 1,
+  kSrcPort = 2,       // exact well-known port
+  kSrcPortOther = 3,  // complement of the well-known port set
+  kDstPort = 4,
+  kDstPortOther = 5,
+  kPacketSize = 6,    // bucket index, width kPacketSizeBucket
+  kFragment = 7,
+  kBlackhole = 8,     // the consequent label item
+};
+
+/// Packet size bucket width in bytes ("(400,500]" style buckets).
+inline constexpr std::uint32_t kPacketSizeBucket = 100;
+
+/// One attribute=value item, packed as attribute << 24 | value.
+class Item {
+ public:
+  constexpr Item() noexcept = default;
+  constexpr Item(Attribute attribute, std::uint32_t value) noexcept
+      : packed_((static_cast<std::uint32_t>(attribute) << 24) |
+                (value & 0x00FFFFFF)) {}
+
+  [[nodiscard]] constexpr Attribute attribute() const noexcept {
+    return static_cast<Attribute>(packed_ >> 24);
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return packed_ & 0x00FFFFFF;
+  }
+  [[nodiscard]] constexpr std::uint32_t packed() const noexcept { return packed_; }
+
+  /// Human-readable form, e.g. "port_src=123" or "packet_size=(400,500]".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Item&) const noexcept = default;
+
+ private:
+  std::uint32_t packed_ = 0;
+};
+
+/// The {blackhole} consequent item.
+inline constexpr Item kBlackholeItem{Attribute::kBlackhole, 1};
+
+/// A transaction: the sorted item set of one flow (including the label
+/// item when the flow was blackholed).
+using Transaction = std::vector<Item>;
+
+/// Converts flow headers into mining transactions.
+class Itemizer {
+ public:
+  /// Builds a transaction from a flow; appends the blackhole item when
+  /// `flow.blackholed` (or `force_label`) is set.
+  [[nodiscard]] Transaction itemize(const net::FlowRecord& flow) const;
+
+  /// Items of the flow header only (no label); used for rule matching.
+  [[nodiscard]] Transaction itemize_header(const net::FlowRecord& flow) const;
+
+  /// True when a port is in the well-known service port set (and thus
+  /// itemized exactly rather than as a complement item).
+  [[nodiscard]] static bool is_known_port(std::uint8_t protocol,
+                                          std::uint16_t port) noexcept;
+};
+
+}  // namespace scrubber::arm

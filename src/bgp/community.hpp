@@ -1,0 +1,56 @@
+#pragma once
+// BGP community attribute values (RFC 1997) including the well-known
+// BLACKHOLE community (RFC 7999) that IXP members attach to announcements
+// requesting neighbors to drop traffic towards a prefix.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace scrubber::bgp {
+
+/// A standard 32-bit BGP community, conventionally written "asn:value".
+class Community {
+ public:
+  constexpr Community() noexcept = default;
+  constexpr Community(std::uint16_t asn, std::uint16_t value) noexcept
+      : raw_((std::uint32_t{asn} << 16) | value) {}
+  constexpr explicit Community(std::uint32_t raw) noexcept : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr std::uint16_t asn() const noexcept {
+    return static_cast<std::uint16_t>(raw_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t value() const noexcept {
+    return static_cast<std::uint16_t>(raw_ & 0xFFFF);
+  }
+
+  /// "asn:value" notation.
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(asn()) + ":" + std::to_string(value());
+  }
+
+  constexpr auto operator<=>(const Community&) const noexcept = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// RFC 7999 BLACKHOLE well-known community (65535:666).
+inline constexpr Community kBlackhole{65535, 666};
+
+/// RFC 1997 NO_EXPORT well-known community.
+inline constexpr Community kNoExport{0xFFFFFF01};
+
+/// RFC 1997 NO_ADVERTISE well-known community.
+inline constexpr Community kNoAdvertise{0xFFFFFF02};
+
+}  // namespace scrubber::bgp
+
+template <>
+struct std::hash<scrubber::bgp::Community> {
+  std::size_t operator()(const scrubber::bgp::Community& c) const noexcept {
+    return std::hash<std::uint32_t>{}(c.raw());
+  }
+};

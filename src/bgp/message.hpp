@@ -1,0 +1,75 @@
+#pragma once
+// BGP-4 UPDATE messages (RFC 4271) with a real wire encoding.
+//
+// The blackhole capture pipeline listens to the IXP route server's BGP
+// feed for announcements carrying the BLACKHOLE community. This module
+// models UPDATE messages both logically (announced/withdrawn prefixes +
+// path attributes) and as on-the-wire bytes, so the registry can be fed
+// from recorded byte streams as well as from the simulator.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "net/ipv4.hpp"
+
+namespace scrubber::bgp {
+
+/// Error thrown when decoding malformed BGP bytes.
+class BgpDecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// ORIGIN path attribute values.
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// A BGP UPDATE: withdrawals, announcements (NLRI), and path attributes.
+/// Only the attributes the scrubber consumes are modeled explicitly;
+/// AS_PATH is a flat AS_SEQUENCE.
+struct UpdateMessage {
+  std::vector<net::Ipv4Prefix> withdrawn;
+  std::vector<net::Ipv4Prefix> announced;
+  std::vector<std::uint32_t> as_path;       ///< AS_SEQUENCE, origin AS last
+  std::vector<Community> communities;
+  net::Ipv4Address next_hop{};
+  Origin origin = Origin::kIncomplete;
+
+  /// True when any announced route carries the BLACKHOLE community.
+  [[nodiscard]] bool is_blackhole_announcement() const noexcept {
+    if (announced.empty()) return false;
+    for (const Community c : communities) {
+      if (c == kBlackhole) return true;
+    }
+    return false;
+  }
+
+  /// Origin (rightmost) AS of the path; 0 when the path is empty.
+  [[nodiscard]] std::uint32_t origin_as() const noexcept {
+    return as_path.empty() ? 0 : as_path.back();
+  }
+
+  /// Encodes the UPDATE as RFC 4271 wire bytes (marker, length, type 2,
+  /// withdrawn routes, path attributes, NLRI). Throws std::length_error if
+  /// the message would exceed the 4096-byte BGP maximum.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes wire bytes produced by encode() (or any conforming peer).
+  /// Throws BgpDecodeError on malformed input.
+  [[nodiscard]] static UpdateMessage decode(const std::vector<std::uint8_t>& wire);
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Convenience: builds a blackhole announcement for `prefix` originated by
+/// `origin_as`, carrying BLACKHOLE + NO_EXPORT as recommended by RFC 7999.
+[[nodiscard]] UpdateMessage make_blackhole_announcement(net::Ipv4Prefix prefix,
+                                                        std::uint32_t origin_as,
+                                                        net::Ipv4Address next_hop);
+
+/// Convenience: builds a withdrawal of `prefix`.
+[[nodiscard]] UpdateMessage make_withdrawal(net::Ipv4Prefix prefix);
+
+}  // namespace scrubber::bgp

@@ -1,0 +1,36 @@
+#include "bgp/rib.hpp"
+
+namespace scrubber::bgp {
+
+void Rib::apply(const UpdateMessage& update) {
+  for (const auto& prefix : update.withdrawn) trie_.erase(prefix);
+  if (update.announced.empty()) return;
+  RouteEntry entry;
+  entry.origin_as = update.origin_as();
+  entry.next_hop = update.next_hop;
+  entry.communities = update.communities;
+  for (const auto& prefix : update.announced) {
+    if (auto* existing = trie_.find_exact(prefix)) {
+      *existing = entry;  // implicit replace of the previous path
+    } else {
+      trie_.insert(prefix, entry);
+    }
+  }
+}
+
+bool Rib::is_blackholed(net::Ipv4Address ip) const {
+  for (const auto& [prefix, entry] : trie_.match_all(ip)) {
+    if (entry->is_blackhole()) return true;
+  }
+  return false;
+}
+
+std::vector<net::Ipv4Prefix> Rib::blackhole_prefixes() const {
+  std::vector<net::Ipv4Prefix> out;
+  trie_.visit([&](const net::Ipv4Prefix& prefix, const RouteEntry& entry) {
+    if (entry.is_blackhole()) out.push_back(prefix);
+  });
+  return out;
+}
+
+}  // namespace scrubber::bgp

@@ -1,0 +1,59 @@
+#pragma once
+// A simple Routing Information Base mirroring the IXP route server's view:
+// prefixes with attributes, updated by BGP UPDATE messages, supporting
+// longest-prefix-match resolution and enumeration of blackholed routes.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace scrubber::bgp {
+
+/// Attributes of one installed route.
+struct RouteEntry {
+  std::uint32_t origin_as = 0;
+  net::Ipv4Address next_hop{};
+  std::vector<Community> communities;
+
+  [[nodiscard]] bool is_blackhole() const noexcept {
+    for (const Community c : communities) {
+      if (c == kBlackhole) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Route server RIB. Single best path per prefix (IXP route servers
+/// typically readvertise one path; path selection is out of scope).
+class Rib {
+ public:
+  /// Applies an UPDATE: withdrawals first, then announcements (RFC 4271).
+  void apply(const UpdateMessage& update);
+
+  /// Longest-prefix-match resolution for a destination address.
+  [[nodiscard]] const RouteEntry* resolve(net::Ipv4Address ip) const {
+    return trie_.match(ip);
+  }
+
+  /// Exact-prefix lookup.
+  [[nodiscard]] const RouteEntry* lookup(const net::Ipv4Prefix& prefix) const {
+    return trie_.find_exact(prefix);
+  }
+
+  /// True when `ip` is covered by any installed blackhole route.
+  [[nodiscard]] bool is_blackholed(net::Ipv4Address ip) const;
+
+  /// All currently installed blackhole prefixes.
+  [[nodiscard]] std::vector<net::Ipv4Prefix> blackhole_prefixes() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+ private:
+  net::PrefixTrie<RouteEntry> trie_;
+};
+
+}  // namespace scrubber::bgp

@@ -1,0 +1,209 @@
+#include "bgp/session.hpp"
+
+#include <algorithm>
+
+namespace scrubber::bgp {
+namespace {
+
+constexpr std::size_t kHeaderSize = 19;
+
+/// Writes the 19-byte BGP header in front of a payload.
+std::vector<std::uint8_t> with_header(MessageType type,
+                                      const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  out.insert(out.end(), 16, 0xFF);
+  const auto total = static_cast<std::uint16_t>(kHeaderSize + payload.size());
+  out.push_back(static_cast<std::uint8_t>(total >> 8));
+  out.push_back(static_cast<std::uint8_t>(total));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// Validates the header and returns the payload view.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& wire) {
+  if (wire.size() < kHeaderSize) throw BgpDecodeError("short BGP message");
+  for (int i = 0; i < 16; ++i) {
+    if (wire[i] != 0xFF) throw BgpDecodeError("bad BGP marker");
+  }
+  const std::size_t length = (std::size_t{wire[16]} << 8) | wire[17];
+  if (length != wire.size()) throw BgpDecodeError("length field mismatch");
+  return {wire.begin() + kHeaderSize, wire.end()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> OpenMessage::encode() const {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(version);
+  payload.push_back(static_cast<std::uint8_t>(as_number >> 8));
+  payload.push_back(static_cast<std::uint8_t>(as_number));
+  payload.push_back(static_cast<std::uint8_t>(hold_time_s >> 8));
+  payload.push_back(static_cast<std::uint8_t>(hold_time_s));
+  for (int shift = 24; shift >= 0; shift -= 8)
+    payload.push_back(static_cast<std::uint8_t>(bgp_identifier >> shift));
+  payload.push_back(0);  // no optional parameters
+  return with_header(MessageType::kOpen, payload);
+}
+
+OpenMessage OpenMessage::decode(const std::vector<std::uint8_t>& wire) {
+  const auto payload = payload_of(wire);
+  if (wire[18] != static_cast<std::uint8_t>(MessageType::kOpen))
+    throw BgpDecodeError("not an OPEN message");
+  if (payload.size() < 10) throw BgpDecodeError("short OPEN payload");
+  OpenMessage open;
+  open.version = payload[0];
+  open.as_number = static_cast<std::uint16_t>((payload[1] << 8) | payload[2]);
+  open.hold_time_s = static_cast<std::uint16_t>((payload[3] << 8) | payload[4]);
+  open.bgp_identifier = (std::uint32_t{payload[5]} << 24) |
+                        (std::uint32_t{payload[6]} << 16) |
+                        (std::uint32_t{payload[7]} << 8) | payload[8];
+  return open;
+}
+
+std::vector<std::uint8_t> NotificationMessage::encode() const {
+  return with_header(MessageType::kNotification, {code, subcode});
+}
+
+NotificationMessage NotificationMessage::decode(
+    const std::vector<std::uint8_t>& wire) {
+  const auto payload = payload_of(wire);
+  if (wire[18] != static_cast<std::uint8_t>(MessageType::kNotification))
+    throw BgpDecodeError("not a NOTIFICATION message");
+  if (payload.size() < 2) throw BgpDecodeError("short NOTIFICATION payload");
+  return NotificationMessage{payload[0], payload[1]};
+}
+
+std::vector<std::uint8_t> encode_keepalive() {
+  return with_header(MessageType::kKeepalive, {});
+}
+
+MessageType message_type(const std::vector<std::uint8_t>& wire) {
+  (void)payload_of(wire);  // header validation
+  const std::uint8_t type = wire[18];
+  if (type < 1 || type > 4) throw BgpDecodeError("unknown BGP message type");
+  return static_cast<MessageType>(type);
+}
+
+std::string_view session_state_name(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+Session::Session(Config config, SendHook send, UpdateSink sink)
+    : config_(config), send_(std::move(send)), sink_(std::move(sink)) {}
+
+void Session::start(std::uint64_t now_ms) {
+  if (state_ != SessionState::kIdle) return;
+  OpenMessage open;
+  open.as_number = config_.local_as;
+  open.hold_time_s = config_.hold_time_s;
+  open.bgp_identifier = config_.bgp_identifier;
+  send_(open.encode());
+  state_ = SessionState::kOpenSent;
+  last_received_ms_ = now_ms;
+  last_keepalive_sent_ms_ = now_ms;
+}
+
+void Session::send_notification(std::uint8_t code, std::uint8_t subcode) {
+  NotificationMessage notification{code, subcode};
+  last_notification_ = notification;
+  send_(notification.encode());
+}
+
+void Session::drop_to_idle() {
+  state_ = SessionState::kIdle;
+  negotiated_hold_s_ = 0;
+}
+
+void Session::receive(const std::vector<std::uint8_t>& wire,
+                      std::uint64_t now_ms) {
+  if (state_ == SessionState::kIdle) return;  // not listening
+
+  MessageType type;
+  try {
+    type = message_type(wire);
+  } catch (const BgpDecodeError&) {
+    send_notification(1, 1);  // Message Header Error / Connection Not Synced
+    drop_to_idle();
+    return;
+  }
+  last_received_ms_ = now_ms;
+
+  try {
+    switch (type) {
+      case MessageType::kOpen: {
+        if (state_ != SessionState::kOpenSent) {
+          send_notification(5, 0);  // FSM error
+          drop_to_idle();
+          return;
+        }
+        const OpenMessage peer = OpenMessage::decode(wire);
+        if (peer.version != 4) {
+          send_notification(2, 1);  // OPEN error / unsupported version
+          drop_to_idle();
+          return;
+        }
+        negotiated_hold_s_ = std::min(config_.hold_time_s, peer.hold_time_s);
+        send_(encode_keepalive());
+        ++keepalives_sent_;
+        state_ = SessionState::kOpenConfirm;
+        return;
+      }
+      case MessageType::kKeepalive: {
+        if (state_ == SessionState::kOpenConfirm)
+          state_ = SessionState::kEstablished;
+        return;
+      }
+      case MessageType::kUpdate: {
+        if (state_ != SessionState::kEstablished) {
+          send_notification(5, 0);  // FSM error
+          drop_to_idle();
+          return;
+        }
+        const UpdateMessage update = UpdateMessage::decode(wire);
+        ++updates_received_;
+        if (sink_) sink_(update, now_ms);
+        return;
+      }
+      case MessageType::kNotification: {
+        drop_to_idle();  // peer closed the session
+        return;
+      }
+    }
+  } catch (const BgpDecodeError&) {
+    send_notification(3, 1);  // UPDATE message error / malformed attributes
+    drop_to_idle();
+  }
+}
+
+void Session::tick(std::uint64_t now_ms) {
+  if (state_ == SessionState::kIdle) return;
+
+  // Hold timer (zero disables it, RFC 4271 §4.2).
+  const std::uint64_t hold_ms = std::uint64_t{negotiated_hold_s_} * 1000;
+  if (state_ == SessionState::kEstablished && hold_ms > 0 &&
+      now_ms - last_received_ms_ > hold_ms) {
+    send_notification(4, 0);  // Hold Timer Expired
+    drop_to_idle();
+    return;
+  }
+
+  // Keepalive every hold/3 (or 30 s before negotiation).
+  const std::uint64_t interval_ms =
+      negotiated_hold_s_ > 0 ? hold_ms / 3 : 30'000;
+  if (state_ != SessionState::kIdle && interval_ms > 0 &&
+      now_ms - last_keepalive_sent_ms_ >= interval_ms) {
+    send_(encode_keepalive());
+    ++keepalives_sent_;
+    last_keepalive_sent_ms_ = now_ms;
+  }
+}
+
+}  // namespace scrubber::bgp

@@ -1,0 +1,135 @@
+#pragma once
+// Minimal BGP-4 speaker: OPEN / KEEPALIVE / NOTIFICATION message codecs
+// and the session finite state machine (RFC 4271 §8, collector subset).
+//
+// The scrubber's BGP feed comes from a route-server peering. This module
+// models the receiving side: a passive session that negotiates hold time,
+// keeps the peering alive, hands every received UPDATE to a sink (the
+// BlackholeRegistry / Rib), and tears down on protocol errors or hold
+// timer expiry. Time is injected (millisecond ticks) so tests and the
+// simulator drive it deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace scrubber::bgp {
+
+/// BGP message types (RFC 4271).
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+/// OPEN message payload.
+struct OpenMessage {
+  std::uint8_t version = 4;
+  std::uint16_t as_number = 0;
+  std::uint16_t hold_time_s = 90;
+  std::uint32_t bgp_identifier = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static OpenMessage decode(const std::vector<std::uint8_t>& wire);
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+/// NOTIFICATION message payload.
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static NotificationMessage decode(
+      const std::vector<std::uint8_t>& wire);
+
+  friend bool operator==(const NotificationMessage&,
+                         const NotificationMessage&) = default;
+};
+
+/// Encodes a KEEPALIVE (header only).
+[[nodiscard]] std::vector<std::uint8_t> encode_keepalive();
+
+/// Peeks the type of a wire message; throws BgpDecodeError when malformed.
+[[nodiscard]] MessageType message_type(const std::vector<std::uint8_t>& wire);
+
+/// Session FSM states (collector subset of RFC 4271 §8.2.2).
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+[[nodiscard]] std::string_view session_state_name(SessionState state) noexcept;
+
+/// One side of a BGP peering, collector role.
+class Session {
+ public:
+  struct Config {
+    std::uint16_t local_as = 64512;
+    std::uint32_t bgp_identifier = 0x0A0A0A0A;
+    std::uint16_t hold_time_s = 90;
+  };
+
+  using SendHook = std::function<void(std::vector<std::uint8_t>)>;
+  using UpdateSink = std::function<void(const UpdateMessage&, std::uint64_t now_ms)>;
+
+  Session(Config config, SendHook send, UpdateSink sink);
+
+  /// Starts the session at `now_ms`: transitions Idle -> OpenSent and
+  /// emits the local OPEN.
+  void start(std::uint64_t now_ms);
+
+  /// Feeds one received wire message. Malformed or out-of-sequence input
+  /// sends a NOTIFICATION and drops to Idle.
+  void receive(const std::vector<std::uint8_t>& wire, std::uint64_t now_ms);
+
+  /// Advances time: emits KEEPALIVEs (every hold/3) and enforces the hold
+  /// timer. Call regularly (at least once per second of simulated time).
+  void tick(std::uint64_t now_ms);
+
+  [[nodiscard]] SessionState state() const noexcept { return state_; }
+  [[nodiscard]] bool established() const noexcept {
+    return state_ == SessionState::kEstablished;
+  }
+
+  /// Hold time negotiated with the peer (min of both OPENs), seconds.
+  [[nodiscard]] std::uint16_t negotiated_hold_time() const noexcept {
+    return negotiated_hold_s_;
+  }
+
+  /// Statistics.
+  [[nodiscard]] std::uint64_t updates_received() const noexcept {
+    return updates_received_;
+  }
+  [[nodiscard]] std::uint64_t keepalives_sent() const noexcept {
+    return keepalives_sent_;
+  }
+  [[nodiscard]] std::optional<NotificationMessage> last_notification_sent()
+      const noexcept {
+    return last_notification_;
+  }
+
+ private:
+  void send_notification(std::uint8_t code, std::uint8_t subcode);
+  void drop_to_idle();
+
+  Config config_;
+  SendHook send_;
+  UpdateSink sink_;
+  SessionState state_ = SessionState::kIdle;
+  std::uint16_t negotiated_hold_s_ = 0;
+  std::uint64_t last_received_ms_ = 0;
+  std::uint64_t last_keepalive_sent_ms_ = 0;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t keepalives_sent_ = 0;
+  std::optional<NotificationMessage> last_notification_;
+};
+
+}  // namespace scrubber::bgp

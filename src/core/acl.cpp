@@ -1,0 +1,96 @@
+#include "core/acl.hpp"
+
+#include "arm/item.hpp"
+#include "net/protocols.hpp"
+
+namespace scrubber::core {
+namespace {
+
+[[nodiscard]] const char* action_keyword(AclAction action) noexcept {
+  switch (action) {
+    case AclAction::kDeny: return "deny";
+    case AclAction::kRateLimit: return "police";
+    case AclAction::kMonitor: return "log";
+  }
+  return "deny";
+}
+
+[[nodiscard]] std::string protocol_keyword(std::uint32_t protocol) {
+  switch (protocol) {
+    case 6: return "tcp";
+    case 17: return "udp";
+    case 47: return "gre";
+    case 1: return "icmp";
+    default: return "ip proto " + std::to_string(protocol);
+  }
+}
+
+}  // namespace
+
+std::string acl_entry(const arm::TaggingRule& rule, AclAction action) {
+  using arm::Attribute;
+
+  std::string protocol = "ip";
+  std::string src_port = "";       // empty = any
+  std::string dst_port = "";
+  std::string size_match = "";
+  bool fragments = false;
+
+  for (const arm::Item item : rule.rule.antecedent) {
+    switch (item.attribute()) {
+      case Attribute::kProtocol:
+        protocol = protocol_keyword(item.value());
+        break;
+      case Attribute::kSrcPort:
+        src_port = "eq " + std::to_string(item.value());
+        break;
+      case Attribute::kSrcPortOther:
+        src_port = "range 1024 65535";
+        break;
+      case Attribute::kDstPort:
+        dst_port = "eq " + std::to_string(item.value());
+        break;
+      case Attribute::kDstPortOther:
+        dst_port = "range 1024 65535";
+        break;
+      case Attribute::kPacketSize: {
+        const std::uint32_t lo = item.value() * arm::kPacketSizeBucket;
+        size_match = "match-size " + std::to_string(lo + 1) + "-" +
+                     std::to_string(lo + arm::kPacketSizeBucket);
+        break;
+      }
+      case Attribute::kFragment:
+        fragments = true;
+        break;
+      case Attribute::kBlackhole:
+        break;  // consequent; never part of a filter
+    }
+  }
+
+  std::string out = action_keyword(action);
+  out += " " + protocol;
+  out += " any";
+  if (!src_port.empty()) out += " " + src_port;
+  out += " any";
+  if (!dst_port.empty()) out += " " + dst_port;
+  if (fragments) out += " fragments";
+  if (!size_match.empty()) out += " " + size_match;
+  out += "  ! id=" + rule.id;
+  char conf[32];
+  std::snprintf(conf, sizeof conf, " conf=%.3f", rule.rule.confidence);
+  out += conf;
+  return out;
+}
+
+std::string generate_acl(const arm::RuleSet& rules, AclAction action) {
+  std::string out;
+  for (const auto& rule : rules.rules()) {
+    if (rule.status != arm::RuleStatus::kAccepted) continue;
+    out += acl_entry(rule, action);
+    out += '\n';
+  }
+  out += "permit ip any any\n";
+  return out;
+}
+
+}  // namespace scrubber::core

@@ -1,0 +1,33 @@
+#pragma once
+// ACL generation: turns accepted tagging rules into router access-control
+// list entries — the deployable output of Step 1 ("filters … which can be
+// used for dropping, shaping, monitoring or re-routing", §5). The syntax
+// is a generic Cisco-like single line per rule.
+
+#include <string>
+#include <vector>
+
+#include "arm/rules.hpp"
+
+namespace scrubber::arm {
+struct TaggingRule;
+}
+
+namespace scrubber::core {
+
+/// Action applied by generated ACL entries.
+enum class AclAction { kDeny, kRateLimit, kMonitor };
+
+/// Renders one tagging rule as an ACL line, e.g.
+///   "deny udp any eq 123 any range 1024 65535 match-size 401-500  ! id=..."
+/// Rules without a port constraint match any port; complement port items
+/// render as "range 1024 65535" (best effort for `~{...}` semantics).
+[[nodiscard]] std::string acl_entry(const arm::TaggingRule& rule,
+                                    AclAction action = AclAction::kDeny);
+
+/// Renders all *accepted* rules of a set as an ACL, one entry per line,
+/// terminated by an implicit "permit ip any any" line.
+[[nodiscard]] std::string generate_acl(const arm::RuleSet& rules,
+                                       AclAction action = AclAction::kDeny);
+
+}  // namespace scrubber::core

@@ -1,0 +1,198 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scrubber::core {
+namespace {
+
+/// Categorical flow properties of the ranking (C in §5.2.1).
+enum class Categorical : std::size_t {
+  kSrcIp, kSrcPort, kDstPort, kSrcMember, kProtocol,
+};
+constexpr std::array<Categorical, 5> kCategoricals{
+    Categorical::kSrcIp, Categorical::kSrcPort, Categorical::kDstPort,
+    Categorical::kSrcMember, Categorical::kProtocol,
+};
+constexpr std::array<const char*, 5> kCategoricalNames{
+    "src_ip", "port_src", "port_dst", "src_mac", "protocol",
+};
+
+/// Ranking metrics (M in §5.2.1).
+enum class Metric : std::size_t { kMeanPacketSize, kSumBytes, kSumPackets };
+constexpr std::array<Metric, 3> kMetrics{
+    Metric::kMeanPacketSize, Metric::kSumBytes, Metric::kSumPackets,
+};
+constexpr std::array<const char*, 3> kMetricNames{"pktsize", "bytes", "packets"};
+
+[[nodiscard]] double categorical_value(const net::FlowRecord& flow,
+                                       Categorical c) noexcept {
+  switch (c) {
+    case Categorical::kSrcIp: return static_cast<double>(flow.src_ip.value());
+    case Categorical::kSrcPort: return static_cast<double>(flow.src_port);
+    case Categorical::kDstPort: return static_cast<double>(flow.dst_port);
+    case Categorical::kSrcMember: return static_cast<double>(flow.src_member);
+    case Categorical::kProtocol: return static_cast<double>(flow.protocol);
+  }
+  return 0.0;
+}
+
+/// Accumulated metrics of one categorical group.
+struct GroupMetrics {
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+
+  [[nodiscard]] double metric(Metric m) const noexcept {
+    switch (m) {
+      case Metric::kMeanPacketSize:
+        return packets == 0 ? 0.0
+                            : static_cast<double>(bytes) /
+                                  static_cast<double>(packets);
+      case Metric::kSumBytes: return static_cast<double>(bytes);
+      case Metric::kSumPackets: return static_cast<double>(packets);
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+AggregatedDataset AggregatedDataset::subset(
+    std::span<const std::size_t> indices) const {
+  AggregatedDataset out;
+  out.data = data.subset(indices);
+  out.meta.reserve(indices.size());
+  for (const std::size_t i : indices) out.meta.push_back(meta[i]);
+  return out;
+}
+
+void AggregatedDataset::append(const AggregatedDataset& other) {
+  data.append(other.data);
+  meta.insert(meta.end(), other.meta.begin(), other.meta.end());
+}
+
+std::vector<ml::ColumnInfo> Aggregator::schema() {
+  std::vector<ml::ColumnInfo> columns;
+  columns.reserve(kCategoricals.size() * kMetrics.size() * kRanks * 2);
+  for (std::size_t c = 0; c < kCategoricals.size(); ++c) {
+    for (std::size_t m = 0; m < kMetrics.size(); ++m) {
+      for (std::size_t r = 0; r < kRanks; ++r) {
+        const std::string base = std::string(kCategoricalNames[c]) + "/" +
+                                 kMetricNames[m] + "/" + std::to_string(r);
+        columns.push_back(ml::ColumnInfo{base, ml::ColumnKind::kCategorical});
+        columns.push_back(ml::ColumnInfo{base + "/val", ml::ColumnKind::kNumeric});
+      }
+    }
+  }
+  return columns;
+}
+
+AggregatedDataset Aggregator::aggregate(std::span<const net::FlowRecord> flows,
+                                        const arm::RuleSet* rules) const {
+  AggregatedDataset out;
+  out.data = ml::Dataset(schema());
+
+  // Group flow indices by (minute, target). std::map keeps record order
+  // deterministic (by minute, then target IP).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    groups[{flows[i].minute, flows[i].dst_ip.value()}].push_back(i);
+  }
+
+  const std::size_t width = out.data.n_cols();
+  std::vector<double> row(width);
+
+  for (const auto& [key, indices] : groups) {
+    std::fill(row.begin(), row.end(), ml::kMissing);
+
+    // Per categorical: group metrics by value.
+    std::size_t column = 0;
+    for (const Categorical c : kCategoricals) {
+      std::unordered_map<std::uint64_t, GroupMetrics> by_value;
+      for (const std::size_t i : indices) {
+        const auto value =
+            static_cast<std::uint64_t>(categorical_value(flows[i], c));
+        auto& group = by_value[value];
+        group.bytes += flows[i].bytes;
+        group.packets += flows[i].packets;
+      }
+      for (const Metric m : kMetrics) {
+        // Top-kRanks values by this metric (descending).
+        std::vector<std::pair<double, std::uint64_t>> ranked;
+        ranked.reserve(by_value.size());
+        for (const auto& [value, metrics] : by_value)
+          ranked.emplace_back(metrics.metric(m), value);
+        std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+          return a.first > b.first || (a.first == b.first && a.second < b.second);
+        });
+        for (std::size_t r = 0; r < kRanks; ++r) {
+          if (r < ranked.size()) {
+            row[column] = static_cast<double>(ranked[r].second);
+            row[column + 1] = ranked[r].first;
+          }
+          column += 2;
+        }
+      }
+    }
+
+    // Label: any blackholed flow marks the record.
+    int label = 0;
+    for (const std::size_t i : indices) {
+      if (flows[i].blackholed) {
+        label = 1;
+        break;
+      }
+    }
+    out.data.add_row(row, label);
+
+    // Metadata: tags, dominant vector, bookkeeping.
+    RecordMeta meta;
+    meta.minute = key.first;
+    meta.target = net::Ipv4Address(key.second);
+    meta.flow_count = static_cast<std::uint32_t>(indices.size());
+
+    if (rules != nullptr) {
+      std::unordered_set<std::uint32_t> tags;
+      for (const std::size_t i : indices) {
+        for (const std::uint32_t tag : rules->matching_accepted(flows[i], itemizer_))
+          tags.insert(tag);
+      }
+      meta.rule_tags.assign(tags.begin(), tags.end());
+      std::sort(meta.rule_tags.begin(), meta.rule_tags.end());
+    }
+
+    // Dominant vector by bytes among vector-classified flows. A vector
+    // only counts as dominant when it carries a meaningful share (>= 25%)
+    // of the record's total bytes — otherwise a single stray benign
+    // fragment or DNS response would mislabel a benign record.
+    std::unordered_map<std::size_t, std::uint64_t> vector_bytes;
+    std::uint64_t total_bytes = 0;
+    for (const std::size_t i : indices) {
+      total_bytes += flows[i].bytes;
+      if (const auto v = flows[i].vector()) {
+        vector_bytes[static_cast<std::size_t>(*v)] += flows[i].bytes;
+      }
+    }
+    if (!vector_bytes.empty()) {
+      std::size_t best = 0;
+      std::uint64_t best_bytes = 0;
+      for (const auto& [v, bytes] : vector_bytes) {
+        if (bytes > best_bytes || (bytes == best_bytes && v < best)) {
+          best = v;
+          best_bytes = bytes;
+        }
+      }
+      if (best_bytes * 4 >= total_bytes) {
+        meta.dominant_vector = static_cast<net::DdosVector>(best);
+      }
+    }
+    out.meta.push_back(std::move(meta));
+  }
+  return out;
+}
+
+}  // namespace scrubber::core

@@ -1,0 +1,73 @@
+#pragma once
+// Step 2 feature construction (§5.2.1, Figure 7): aggregation of balanced
+// flows into per-(minute, target IP) records.
+//
+// For every record, each categorical flow property in
+//   C = {src_ip, src_port, dst_port, src_member, protocol}
+// is ranked by each non-categorical metric in
+//   M = {mean_packet_size, sum_bytes, sum_packets}
+// keeping the top r = 5 entries. Each ranking contributes 2*r columns (the
+// categorical value and its metric), giving |C|*|M|*2*r = 150 feature
+// columns. Missing ranks are NaN (imputed later). Deliberately redundant —
+// Appendix B discusses why — with feature elimination downstream.
+//
+// The record label is 1 iff any constituent flow was blackholed. Matched
+// accepted tagging rules are annotated (but never used as features, which
+// would leak Step 1 into Step 2) for the RBC baseline and Figure 14;
+// a dominant attack vector is derived from the headers for the per-vector
+// breakdown of Table 3.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "arm/rules.hpp"
+#include "ml/dataset.hpp"
+#include "net/flow.hpp"
+
+namespace scrubber::core {
+
+/// Number of ranks kept per (categorical, metric) ranking.
+inline constexpr std::size_t kRanks = 5;
+
+/// Side metadata of one aggregated record (parallel to dataset rows).
+struct RecordMeta {
+  std::uint32_t minute = 0;
+  net::Ipv4Address target;
+  std::vector<std::uint32_t> rule_tags;  ///< indices of matching accepted rules
+  std::optional<net::DdosVector> dominant_vector;
+  std::uint32_t flow_count = 0;
+};
+
+/// An aggregated dataset: the ML matrix plus per-row metadata.
+struct AggregatedDataset {
+  ml::Dataset data;
+  std::vector<RecordMeta> meta;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data.n_rows(); }
+
+  /// Row-subset preserving metadata alignment.
+  [[nodiscard]] AggregatedDataset subset(std::span<const std::size_t> indices) const;
+
+  /// Appends another aggregated dataset (same schema).
+  void append(const AggregatedDataset& other);
+};
+
+/// Builds aggregated records from balanced flows.
+class Aggregator {
+ public:
+  /// The fixed 150-column schema (+ categorical/numeric kinds).
+  [[nodiscard]] static std::vector<ml::ColumnInfo> schema();
+
+  /// Aggregates flows into per-(minute, target) records. When `rules` is
+  /// given, each record is annotated with the accepted rules matching any
+  /// of its flows.
+  [[nodiscard]] AggregatedDataset aggregate(
+      std::span<const net::FlowRecord> flows,
+      const arm::RuleSet* rules = nullptr) const;
+
+ private:
+  arm::Itemizer itemizer_;
+};
+
+}  // namespace scrubber::core

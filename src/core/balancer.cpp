@@ -1,0 +1,129 @@
+#include "core/balancer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scrubber::core {
+
+void Balancer::add_minute(std::uint32_t minute,
+                          std::span<const net::FlowRecord> flows) {
+  MinuteBalanceStats stats;
+  stats.minute = minute;
+  stats.raw_flows = flows.size();
+
+  // Partition by label, group by destination IP.
+  std::unordered_map<std::uint32_t, std::vector<const net::FlowRecord*>> bh_by_ip;
+  std::unordered_map<std::uint32_t, std::vector<const net::FlowRecord*>> benign_by_ip;
+  for (const auto& flow : flows) {
+    stats.raw_bytes += flow.bytes;
+    if (flow.blackholed) {
+      stats.blackhole_bytes += flow.bytes;
+      ++stats.blackhole_flows;
+      bh_by_ip[flow.dst_ip.value()].push_back(&flow);
+    } else {
+      benign_by_ip[flow.dst_ip.value()].push_back(&flow);
+    }
+  }
+  stats.blackhole_unique_ips = static_cast<std::uint32_t>(bh_by_ip.size());
+
+  totals_.raw_flows += stats.raw_flows;
+  totals_.raw_bytes += stats.raw_bytes;
+
+  if (!bh_by_ip.empty() && !benign_by_ip.empty()) {
+    // Keep every blackholed flow.
+    for (const auto& [ip, group] : bh_by_ip) {
+      for (const auto* flow : group) balanced_.push_back(*flow);
+      totals_.balanced_blackhole_flows += group.size();
+      totals_.balanced_flows += group.size();
+    }
+
+    // Select as many benign destination IPs as blackholed ones. Each
+    // blackholed IP is paired with the unused benign IP whose flow count
+    // is *closest* to its own ("an equal number of flows per destination
+    // IP", §3): this preserves the flows-per-IP distribution across the
+    // classes (the Figure 3c correlation) and — unlike always taking the
+    // busiest benign hosts — keeps the benign class representative of the
+    // full benign service mix. Residual deficits spill over to further
+    // benign IPs (capped) so the classes stay flow-balanced (Table 2).
+    std::vector<std::pair<std::size_t, std::uint32_t>> benign_ranked;
+    benign_ranked.reserve(benign_by_ip.size());
+    for (const auto& [ip, group] : benign_by_ip)
+      benign_ranked.emplace_back(group.size(), ip);
+    std::sort(benign_ranked.begin(), benign_ranked.end());  // ascending count
+
+    std::vector<std::size_t> bh_sizes;
+    bh_sizes.reserve(bh_by_ip.size());
+    for (const auto& [ip, group] : bh_by_ip) bh_sizes.push_back(group.size());
+    std::sort(bh_sizes.begin(), bh_sizes.end(), std::greater<>());
+
+    auto take_from = [&](std::uint32_t ip, std::size_t want, bool spillover) {
+      auto& group = benign_by_ip[ip];
+      const std::size_t take = std::min(want, group.size());
+      if (take < group.size()) {
+        const auto chosen = rng_.sample_indices(group.size(), take);
+        for (const std::size_t i : chosen) balanced_.push_back(*group[i]);
+      } else {
+        for (const auto* flow : group) balanced_.push_back(*flow);
+      }
+      if (spillover) {
+        stats.benign_spillover_flows += take;
+        ++stats.benign_spillover_ips;
+      } else {
+        stats.benign_selected_flows += take;
+        ++stats.benign_selected_ips;
+      }
+      return take;
+    };
+
+    // Closest-count pairing over the ascending benign ranking.
+    std::size_t deficit = 0;
+    for (const std::size_t want : bh_sizes) {
+      if (benign_ranked.empty()) break;
+      auto it = std::lower_bound(
+          benign_ranked.begin(), benign_ranked.end(), want,
+          [](const auto& entry, std::size_t w) { return entry.first < w; });
+      if (it == benign_ranked.end()) {
+        --it;  // all remaining are smaller: take the largest
+      } else if (it != benign_ranked.begin()) {
+        // Choose the closer of the two neighbors.
+        const auto below = std::prev(it);
+        if (want - below->first < it->first - want) it = below;
+      }
+      const std::size_t got = take_from(it->second, want, false);
+      deficit += want - got;
+      benign_ranked.erase(it);
+    }
+    // Spillover: cover the remaining deficit from the largest unused
+    // benign IPs. Capped so a single huge attack cannot flood the set
+    // with hundreds of thin destination IPs; a small residual flow
+    // imbalance matches the paper's 48-55% range.
+    const std::size_t spillover_cap = 3 * bh_by_ip.size() + 2;
+    while (deficit > 0 && !benign_ranked.empty() &&
+           stats.benign_spillover_ips < spillover_cap) {
+      deficit -= take_from(benign_ranked.back().second, deficit, true);
+      benign_ranked.pop_back();
+    }
+    totals_.balanced_flows +=
+        stats.benign_selected_flows + stats.benign_spillover_flows;
+  }
+
+  minute_stats_.push_back(stats);
+}
+
+std::vector<net::FlowRecord> balance_trace(std::span<const net::FlowRecord> flows,
+                                           std::uint64_t seed,
+                                           BalanceTotals* totals) {
+  Balancer balancer(seed);
+  std::size_t start = 0;
+  while (start < flows.size()) {
+    std::size_t end = start;
+    const std::uint32_t minute = flows[start].minute;
+    while (end < flows.size() && flows[end].minute == minute) ++end;
+    balancer.add_minute(minute, flows.subspan(start, end - start));
+    start = end;
+  }
+  if (totals != nullptr) *totals = balancer.totals();
+  return balancer.take_balanced();
+}
+
+}  // namespace scrubber::core

@@ -1,0 +1,90 @@
+#pragma once
+// Capture front-end: turns the IXP's raw telemetry — sFlow v5 datagrams
+// from the switches and the BGP feed from the route server — into the
+// labeled, anonymized per-minute flow batches the rest of the pipeline
+// consumes. This is the deployment glue between the substrates:
+//
+//   sFlow datagrams ──► FlowCache (aggregation, sampling-rate scaling)
+//   BGP UPDATEs     ──► BlackholeRegistry (time-indexed labels)
+//                         │
+//   minute closes ──► label flows ──► (optional) anonymize ──► sink
+//
+// Labeling happens when a minute bin closes, so announcements that arrive
+// during the minute are honored. Flows are optionally anonymized before
+// they leave the collector, as §4.3 requires.
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "bgp/blackhole_registry.hpp"
+#include "net/anonymize.hpp"
+#include "net/sflow.hpp"
+
+namespace scrubber::core {
+
+/// Receives each closed minute's labeled flows.
+using MinuteBatchSink =
+    std::function<void(std::uint32_t minute, std::span<const net::FlowRecord>)>;
+
+/// sFlow + BGP collector producing labeled minute batches.
+class Collector {
+ public:
+  struct Config {
+    std::uint32_t sampling_rate = 1;  ///< sFlow 1-in-N (for scaling)
+    /// Minutes a bin stays open after time passes it (late datagrams).
+    std::uint32_t reorder_slack_min = 1;
+    /// When set, flows are anonymized before reaching the sink.
+    std::optional<std::uint64_t> anonymization_salt;
+  };
+
+  Collector(Config config, MinuteBatchSink sink);
+
+  /// Ingests one sFlow datagram (already decoded). Advances collector time
+  /// to the datagram's uptime and flushes bins older than the slack.
+  void ingest(const net::SflowDatagram& datagram);
+
+  /// Ingests sFlow wire bytes. Throws net::SflowDecodeError on bad input.
+  void ingest_wire(const std::vector<std::uint8_t>& wire);
+
+  /// Ingests one BGP update observed at `now_ms` (e.g. from bgp::Session).
+  void ingest_bgp(const bgp::UpdateMessage& update, std::uint64_t now_ms);
+
+  /// Flushes every open bin (end of capture).
+  void flush();
+
+  [[nodiscard]] const bgp::BlackholeRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t datagrams() const noexcept { return datagrams_; }
+  [[nodiscard]] std::uint64_t flows_emitted() const noexcept {
+    return flows_emitted_;
+  }
+  [[nodiscard]] std::uint64_t blackholed_flows() const noexcept {
+    return blackholed_flows_;
+  }
+
+ private:
+  void flush_before(std::uint32_t minute);
+
+  Config config_;
+  MinuteBatchSink sink_;
+  net::FlowCache cache_;
+  bgp::BlackholeRegistry registry_;
+  std::optional<net::Anonymizer> anonymizer_;
+  std::uint32_t watermark_min_ = 0;  ///< highest minute observed
+  std::uint64_t datagrams_ = 0;
+  std::uint64_t flows_emitted_ = 0;
+  std::uint64_t blackholed_flows_ = 0;
+};
+
+/// Test/replay helper: expands flow records back into sFlow datagrams (one
+/// sampled packet per `packets / sampling_rate`, minimum 1) — the inverse
+/// of the collector path, used to exercise it end to end.
+[[nodiscard]] std::vector<net::SflowDatagram> flows_to_datagrams(
+    std::span<const net::FlowRecord> flows, std::uint32_t sampling_rate,
+    net::Ipv4Address agent);
+
+}  // namespace scrubber::core

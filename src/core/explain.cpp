@@ -1,0 +1,83 @@
+#include "core/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace scrubber::core {
+
+std::string Explanation::to_string() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "target %s @minute %u -> %s (score %.3f)\n",
+                target.to_string().c_str(), minute,
+                is_ddos ? "DDoS" : "benign", score);
+  out += buf;
+  if (!matched_rules.empty()) {
+    out += "  matched tagging rules:\n";
+    for (const auto& rule : matched_rules) {
+      out += "    [";
+      out += rule;
+      out += "]\n";
+    }
+  }
+  out += "  weight-of-evidence:\n";
+  for (const auto& e : evidence) {
+    std::snprintf(buf, sizeof buf, "    %-26s %-18s WoE=%+8.3f %s\n",
+                  e.column.c_str(), e.raw_value.c_str(), e.woe,
+                  e.points_to_attack() ? "-> attack" : "-> benign");
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_raw_value(const std::string& column, double value) {
+  if (std::isnan(value)) return "(missing)";
+  if (column.rfind("src_ip/", 0) == 0) {
+    return net::Ipv4Address(static_cast<std::uint32_t>(value)).to_string();
+  }
+  if (column.rfind("protocol/", 0) == 0) {
+    return std::string(net::protocol_name(static_cast<std::uint8_t>(value)));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", value);
+  return buf;
+}
+
+Explanation explain(const IxpScrubber& scrubber, const AggregatedDataset& data,
+                    std::size_t index, std::size_t top_k) {
+  Explanation out;
+  const RecordMeta& meta = data.meta[index];
+  out.minute = meta.minute;
+  out.target = meta.target;
+
+  const Classification verdict = scrubber.classify(data, index);
+  out.is_ddos = verdict.is_ddos;
+  out.score = verdict.score;
+  for (const auto* rule : verdict.matched_rules)
+    out.matched_rules.push_back(rule->antecedent_string());
+
+  // WoE evidence from the pipeline's fitted encoder.
+  const auto* stage = scrubber.pipeline().find_stage("WoE");
+  if (stage != nullptr) {
+    const auto& encoder = static_cast<const ml::WoeEncoder&>(*stage);
+    const auto row = data.data.row(index);
+    for (std::size_t j = 0; j < data.data.n_cols(); ++j) {
+      if (!encoder.encodes(j) || ml::is_missing(row[j])) continue;
+      FeatureEvidence evidence;
+      evidence.column = data.data.column(j).name;
+      evidence.raw_value = render_raw_value(evidence.column, row[j]);
+      evidence.woe = encoder.column(j).encode(
+          static_cast<std::int64_t>(std::llround(row[j])));
+      out.evidence.push_back(std::move(evidence));
+    }
+    std::sort(out.evidence.begin(), out.evidence.end(),
+              [](const FeatureEvidence& a, const FeatureEvidence& b) {
+                return std::abs(a.woe) > std::abs(b.woe);
+              });
+    if (top_k != 0 && out.evidence.size() > top_k) out.evidence.resize(top_k);
+  }
+  return out;
+}
+
+}  // namespace scrubber::core

@@ -1,0 +1,50 @@
+#pragma once
+// Local explainability (§5.2.3, §6.6, Figure 9): classification decisions
+// are debugged through (i) the matched tagging rules and (ii) the WoE
+// encodings of the record's features — independent of the classifier.
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/scrubber.hpp"
+#include "ml/woe.hpp"
+
+namespace scrubber::core {
+
+/// One WoE-encoded feature of an explanation, ready for display.
+struct FeatureEvidence {
+  std::string column;        ///< feature column name (Figure 7 notation)
+  std::string raw_value;     ///< rendered raw value (IP dotted quad, port, ...)
+  double woe = 0.0;          ///< Weight of Evidence of the value
+
+  /// Positive WoE argues for DDoS, negative for benign.
+  [[nodiscard]] bool points_to_attack() const noexcept { return woe > 0.0; }
+};
+
+/// Full local explanation of one classification decision (Figure 9).
+struct Explanation {
+  std::uint32_t minute = 0;
+  net::Ipv4Address target;
+  bool is_ddos = false;
+  double score = 0.0;
+  std::vector<FeatureEvidence> evidence;  ///< sorted by |WoE| descending
+  std::vector<std::string> matched_rules; ///< antecedents of matched rules
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds an explanation for row `index` of an aggregated dataset using the
+/// scrubber's fitted WoE stage and installed rules. `top_k` limits the
+/// evidence list (0 = all encoded features).
+[[nodiscard]] Explanation explain(const IxpScrubber& scrubber,
+                                  const AggregatedDataset& data,
+                                  std::size_t index, std::size_t top_k = 10);
+
+/// Renders the raw value of a schema column (IPs as dotted quads, ports
+/// and members as integers). Exposed for the UI-style outputs of benches.
+[[nodiscard]] std::string render_raw_value(const std::string& column,
+                                           double value);
+
+}  // namespace scrubber::core

@@ -1,0 +1,83 @@
+#include "core/tag_predictor.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace scrubber::core {
+
+void TagPredictor::fit(const AggregatedDataset& data) {
+  tags_.clear();
+  models_.clear();
+
+  // Frequency of each rule tag over the training records.
+  std::map<std::uint32_t, std::size_t> tag_counts;
+  for (const auto& meta : data.meta) {
+    for (const std::uint32_t tag : meta.rule_tags) ++tag_counts[tag];
+  }
+  std::vector<std::pair<std::size_t, std::uint32_t>> ranked;
+  for (const auto& [tag, count] : tag_counts) {
+    if (count >= config_.min_positive && count + config_.min_positive <= data.size())
+      ranked.emplace_back(count, tag);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  if (ranked.size() > config_.max_rules) ranked.resize(config_.max_rules);
+
+  for (const auto& [count, tag] : ranked) {
+    // Relabel the dataset: positive iff this tag matched the record.
+    ml::Dataset relabeled = data.data;
+    std::vector<int> labels(relabeled.n_rows(), 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto& tags = data.meta[i].rule_tags;
+      labels[i] = std::binary_search(tags.begin(), tags.end(), tag) ? 1 : 0;
+    }
+    relabeled.set_labels(std::move(labels));
+
+    ml::Pipeline pipeline = ml::make_model_pipeline(ml::ModelKind::kXgb);
+    pipeline.fit(relabeled);
+    tags_.push_back(tag);
+    models_.push_back(std::move(pipeline));
+  }
+}
+
+std::vector<std::uint32_t> TagPredictor::predict(const AggregatedDataset& data,
+                                                 std::size_t index) const {
+  std::vector<std::uint32_t> out;
+  const auto row = data.data.row(index);
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    if (models_[m].score(row) >= config_.threshold) out.push_back(tags_[m]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TagAgreement evaluate_tags(const TagPredictor& predictor,
+                           const AggregatedDataset& data) {
+  TagAgreement agreement;
+  const auto& learned = predictor.learned_tags();
+  std::uint64_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto predicted = predictor.predict(data, i);
+    // Ground truth restricted to learnable tags.
+    std::vector<std::uint32_t> truth;
+    for (const std::uint32_t tag : data.meta[i].rule_tags) {
+      if (std::find(learned.begin(), learned.end(), tag) != learned.end())
+        truth.push_back(tag);
+    }
+    std::sort(truth.begin(), truth.end());
+    ++agreement.records;
+    agreement.exact_set_matches += (predicted == truth);
+    for (const std::uint32_t tag : predicted) {
+      (std::binary_search(truth.begin(), truth.end(), tag) ? tp : fp) += 1;
+    }
+    for (const std::uint32_t tag : truth) {
+      if (!std::binary_search(predicted.begin(), predicted.end(), tag)) ++fn;
+    }
+  }
+  agreement.precision =
+      tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  agreement.recall =
+      tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  return agreement;
+}
+
+}  // namespace scrubber::core

@@ -1,0 +1,67 @@
+#pragma once
+// Multiclass tagging-rule prediction — the alternative design §5.2.2
+// discusses but does not build: instead of classifying targets and then
+// looking up which mined rules matched, predict the applicable tagging
+// rules (ACLs) directly from the aggregated record, one-vs-rest.
+//
+// The paper notes the trade-off: this removes the post-hoc rule matching
+// at prediction time but the predicted tags are model output rather than
+// rules applied to raw data, i.e. less interpretable. The bench
+// `bench_tag_prediction` quantifies how well predicted tags agree with
+// ground-truth matching.
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "ml/pipeline.hpp"
+
+namespace scrubber::core {
+
+/// One-vs-rest predictor of tagging rules on aggregated target records.
+class TagPredictor {
+ public:
+  struct Config {
+    std::size_t max_rules = 16;        ///< predict only the most frequent rules
+    std::size_t min_positive = 10;     ///< skip rules too rare to learn
+    double threshold = 0.5;            ///< per-rule decision threshold
+  };
+
+  TagPredictor() = default;
+  explicit TagPredictor(Config config) : config_(config) {}
+
+  /// Trains one binary pipeline per sufficiently frequent rule tag in
+  /// `data` (tags come from RecordMeta::rule_tags).
+  void fit(const AggregatedDataset& data);
+
+  /// Predicted rule-tag indices (into the RuleSet used at aggregation
+  /// time) for row `index`, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> predict(const AggregatedDataset& data,
+                                                   std::size_t index) const;
+
+  /// Rule tags this predictor learned to emit.
+  [[nodiscard]] const std::vector<std::uint32_t>& learned_tags() const noexcept {
+    return tags_;
+  }
+
+  [[nodiscard]] bool trained() const noexcept { return !models_.empty(); }
+
+ private:
+  Config config_;
+  std::vector<std::uint32_t> tags_;          // tag id per model
+  std::vector<ml::Pipeline> models_;         // one-vs-rest pipelines
+};
+
+/// Micro-averaged precision/recall of predicted tag sets against the
+/// ground-truth matched tags, restricted to the predictor's learned tags.
+struct TagAgreement {
+  double precision = 0.0;
+  double recall = 0.0;
+  std::uint64_t exact_set_matches = 0;  ///< records with identical tag sets
+  std::uint64_t records = 0;
+};
+
+[[nodiscard]] TagAgreement evaluate_tags(const TagPredictor& predictor,
+                                         const AggregatedDataset& data);
+
+}  // namespace scrubber::core

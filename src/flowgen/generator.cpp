@@ -1,0 +1,446 @@
+#include "flowgen/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace scrubber::flowgen {
+namespace {
+
+constexpr std::uint32_t kMinutesPerWeek = 7 * 24 * 60;
+constexpr double kMaxAttackFlowsPerMinute = 400.0;
+
+/// Benign service mix. `server_port` identifies the service; response
+/// flows carry it as the source port. Weights are chosen so that roughly
+/// 7.5% of benign flows carry a well-known DDoS source port (DNS, NTP,
+/// SNMP responses), matching Figure 4a's benign class.
+struct BenignService {
+  std::uint8_t protocol;
+  std::uint16_t server_port;
+  double mean_size;    // response packet size
+  double stddev_size;
+  double weight;
+};
+
+constexpr std::array<BenignService, 12> kBenignServices{{
+    {6, 443, 980.0, 380.0, 0.42},    // HTTPS
+    {6, 80, 900.0, 420.0, 0.11},     // HTTP
+    {17, 443, 1050.0, 300.0, 0.16},  // QUIC
+    {17, 53, 180.0, 110.0, 0.058},   // DNS responses (well-known DDoS port)
+    {17, 123, 90.0, 8.0, 0.015},     // NTP sync responses (DDoS port)
+    {17, 161, 130.0, 40.0, 0.006},   // SNMP polling (DDoS port)
+    {6, 25, 520.0, 260.0, 0.03},     // SMTP
+    {6, 22, 420.0, 300.0, 0.02},     // SSH
+    {6, 853, 400.0, 150.0, 0.01},    // DoT
+    {17, 4500, 700.0, 350.0, 0.02},  // IPsec NAT-T
+    {6, 8080, 850.0, 400.0, 0.03},   // alt HTTP
+    {17, 0, 1280.0, 160.0, 0.089},   // high-port streaming (src/dst ephemeral)
+}};
+
+[[nodiscard]] std::uint16_t ephemeral_port(util::Rng& rng) noexcept {
+  return static_cast<std::uint16_t>(rng.range(1024, 65535));
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(IxpProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {}
+
+net::Ipv4Address TrafficGenerator::member_host(std::uint32_t member,
+                                               std::uint32_t host) const noexcept {
+  // Member m owns 10.<m_hi>.<m_lo>.0/24; hosts live in the low byte.
+  return net::Ipv4Address::from_octets(
+      10, static_cast<std::uint8_t>(member >> 8),
+      static_cast<std::uint8_t>(member & 0xFF),
+      static_cast<std::uint8_t>(host));
+}
+
+net::Ipv4Address TrafficGenerator::random_victim(util::Rng& rng) const noexcept {
+  const auto member = static_cast<std::uint32_t>(rng.below(profile_.member_count));
+  const auto victim = static_cast<std::uint32_t>(rng.below(profile_.victims_per_member));
+  return member_host(member, 10 + victim);
+}
+
+net::Ipv4Address TrafficGenerator::random_server(util::Rng& rng) const noexcept {
+  // Heavy-tailed (Zipf) popularity over the global server population,
+  // mirroring real IXPs' traffic matrices where a few content hosts
+  // dominate. The popularity rank is scattered over members by hashing so
+  // popular servers are not clustered on low member ids.
+  const std::uint32_t total =
+      profile_.member_count * profile_.servers_per_member;
+  const auto rank = static_cast<std::uint32_t>(rng.zipf(total, 1.35));
+  const std::uint64_t h = util::mix64(rank ^ (profile_.pool_seed() << 24));
+  const auto member = static_cast<std::uint32_t>(h % profile_.member_count);
+  const auto server =
+      static_cast<std::uint32_t>((h >> 32) % profile_.servers_per_member);
+  return member_host(member, 100 + server);
+}
+
+net::Ipv4Address TrafficGenerator::random_client(util::Rng& rng) const noexcept {
+  // Skewed client popularity (large eyeball networks resolve to a modest
+  // set of NAT egress addresses).
+  const auto index = rng.zipf(profile_.client_pool, 1.0);
+  const std::uint64_t h = util::mix64(index ^ (profile_.pool_seed() << 20));
+  // 100.64.0.0/10 carrier-grade NAT space for remote clients.
+  return net::Ipv4Address(0x64400000U |
+                          static_cast<std::uint32_t>(h & 0x003FFFFF));
+}
+
+net::MemberId TrafficGenerator::member_of(net::Ipv4Address ip) const noexcept {
+  const std::uint32_t v = ip.value();
+  if ((v >> 24) == 10) {
+    // Member-owned space: the /24 identifies the member port directly.
+    return (v >> 8) & 0xFFFF;
+  }
+  // External space reaches the IXP through a stable transit member.
+  return static_cast<net::MemberId>(util::mix64(v ^ profile_.pool_seed()) %
+                                    profile_.member_count);
+}
+
+net::Ipv4Address TrafficGenerator::reflector_ip(net::DdosVector vector,
+                                                std::uint32_t slot,
+                                                std::uint32_t minute) const noexcept {
+  // Each pool slot is re-rolled once per churn period; slots have random
+  // phases so a ~constant fraction of the pool rotates every week.
+  const std::uint32_t week = minute / kMinutesPerWeek;
+  const auto churn_weeks =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(profile_.reflector_churn_weeks));
+  const std::uint32_t phase = static_cast<std::uint32_t>(
+      util::mix64(slot * 7919ULL + static_cast<std::uint64_t>(vector)) % churn_weeks);
+  const std::uint32_t epoch = (week + phase) / churn_weeks;
+  const std::uint64_t h =
+      util::mix64(profile_.pool_seed() ^ (static_cast<std::uint64_t>(vector) << 48) ^
+                  (static_cast<std::uint64_t>(slot) << 16) ^ epoch);
+  // Reflectors live in 128.0.0.0/2 (disjoint from member and client space).
+  return net::Ipv4Address(0x80000000U |
+                          static_cast<std::uint32_t>(h & 0x3FFFFFFFU));
+}
+
+bool TrafficGenerator::vector_active(net::DdosVector vector,
+                                     std::uint32_t minute) const noexcept {
+  const auto it = profile_.vector_onset_week.find(vector);
+  if (it == profile_.vector_onset_week.end()) return true;
+  return minute / kMinutesPerWeek >= it->second;
+}
+
+void TrafficGenerator::schedule_attacks(std::uint32_t start_minute,
+                                        std::uint32_t minutes, util::Rng& rng) {
+  attacks_.clear();
+  updates_.clear();
+  registry_ = bgp::BlackholeRegistry{};
+
+  const double days = static_cast<double>(minutes) / (24.0 * 60.0);
+  const std::uint64_t attack_count = rng.poisson(profile_.attacks_per_day * days);
+
+  // Vector sampling weights (prevalence), filtered per-attack by onset.
+  std::vector<double> base_weights;
+  std::vector<net::DdosVector> vectors;
+  for (const auto& sig : net::vector_signatures()) {
+    if (sig.vector == net::DdosVector::kUdpFragment) continue;  // companion only
+    vectors.push_back(sig.vector);
+    base_weights.push_back(vector_traffic(sig.vector).prevalence);
+  }
+  // The attack mix rotates over time (booter fashion, newly weaponized
+  // reflector populations): each vector's prevalence is modulated by a
+  // deterministic log-uniform factor in [1/3, 3] that re-rolls every four
+  // weeks. This temporal non-stationarity is what makes one-shot-trained
+  // models decay (§6.3).
+  const auto modulated_weights = [&](std::uint32_t minute) {
+    const std::uint32_t era = minute / (4 * kMinutesPerWeek);
+    std::vector<double> weights = base_weights;
+    for (std::size_t v = 0; v < weights.size(); ++v) {
+      const std::uint64_t h =
+          util::mix64(profile_.pool_seed() ^ (static_cast<std::uint64_t>(era) << 32) ^
+                      (v * 0x9E37ULL));
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0,1)
+      weights[v] *= std::exp((u * 2.0 - 1.0) * std::log(3.0));
+    }
+    return weights;
+  };
+
+  for (std::uint64_t a = 0; a < attack_count; ++a) {
+    AttackEvent attack;
+    attack.start_minute =
+        start_minute + static_cast<std::uint32_t>(rng.below(minutes));
+    const double duration = 1.0 + rng.exponential(1.0 / profile_.attack_duration_mean_min);
+    attack.end_minute =
+        attack.start_minute + static_cast<std::uint32_t>(std::min(duration, 120.0));
+
+    // Resample the vector until one active at the attack start is found.
+    const std::vector<double> weights = modulated_weights(attack.start_minute);
+    for (int tries = 0; tries < 32; ++tries) {
+      const net::DdosVector v = vectors[rng.weighted(weights)];
+      if (vector_active(v, attack.start_minute)) {
+        attack.vector = v;
+        break;
+      }
+      attack.vector = net::DdosVector::kNtp;  // NTP is always active
+    }
+    attack.victim = random_victim(rng);
+    // The Pareto tail is capped relative to the site's (scaled-down)
+    // benign volume so one monster attack cannot dwarf everything the
+    // balancer could pair it with.
+    const double cap = std::min(kMaxAttackFlowsPerMinute,
+                                0.5 * profile_.benign_flows_per_minute);
+    attack.flows_per_minute =
+        std::min(rng.pareto(profile_.attack_flows_per_minute_scale,
+                            profile_.attack_flows_per_minute_shape),
+                 std::max(cap, 10.0));
+    attack.dst_port_sprayed = rng.chance(0.8);
+    attack.fixed_dst_port = rng.chance(0.5) ? 80 : 443;
+
+    attack.announces_blackhole = rng.chance(profile_.blackhole_probability);
+    if (attack.announces_blackhole) {
+      attack.announce_minute =
+          attack.start_minute +
+          static_cast<std::uint32_t>(rng.exponential(
+              1.0 / std::max(profile_.announce_delay_mean_min, 0.01)));
+      attack.withdraw_minute =
+          attack.end_minute +
+          1 + static_cast<std::uint32_t>(rng.exponential(
+                  1.0 / std::max(profile_.withdraw_delay_mean_min, 0.01)));
+    }
+    attacks_.push_back(attack);
+  }
+  std::sort(attacks_.begin(), attacks_.end(),
+            [](const AttackEvent& a, const AttackEvent& b) {
+              return a.start_minute < b.start_minute;
+            });
+
+  // Spurious blackholes: operator-announced drops on unattacked hosts
+  // (maintenance, policy) that sweep benign-only traffic into the class.
+  const std::uint64_t spurious =
+      rng.poisson(profile_.spurious_blackhole_per_day * days);
+  const net::Ipv4Address route_server = net::Ipv4Address::from_octets(10, 255, 0, 1);
+  for (std::uint64_t s = 0; s < spurious; ++s) {
+    const std::uint32_t at =
+        start_minute + static_cast<std::uint32_t>(rng.below(minutes));
+    // Cold hosts (uniform over the server space): maintenance blackholes on
+    // popular content would not survive operationally.
+    const auto member = static_cast<std::uint32_t>(rng.below(profile_.member_count));
+    const auto server = static_cast<std::uint32_t>(rng.below(profile_.servers_per_member));
+    const net::Ipv4Address host = member_host(member, 100 + server);
+    const std::uint32_t until = at + 10 + static_cast<std::uint32_t>(rng.below(120));
+    const auto prefix = net::Ipv4Prefix::host(host);
+    const auto origin = static_cast<std::uint32_t>(64512 + member_of(host));
+    updates_.emplace_back(at, bgp::make_blackhole_announcement(prefix, origin,
+                                                               route_server));
+    updates_.emplace_back(until, bgp::make_withdrawal(prefix));
+  }
+
+  // Attack-triggered announcements.
+  for (const auto& attack : attacks_) {
+    if (!attack.announces_blackhole) continue;
+    const auto prefix = net::Ipv4Prefix::host(attack.victim);
+    const auto origin = static_cast<std::uint32_t>(64512 + member_of(attack.victim));
+    updates_.emplace_back(attack.announce_minute,
+                          bgp::make_blackhole_announcement(prefix, origin,
+                                                           route_server));
+    updates_.emplace_back(attack.withdraw_minute, bgp::make_withdrawal(prefix));
+  }
+
+  std::sort(updates_.begin(), updates_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [minute, update] : updates_) registry_.apply(update, minute);
+}
+
+void TrafficGenerator::emit_benign_flow(std::uint32_t minute,
+                                        std::vector<net::FlowRecord>& out,
+                                        util::Rng& rng) {
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const auto& svc : kBenignServices) w.push_back(svc.weight);
+    return w;
+  }();
+
+  if (rng.chance(profile_.benign_fragment_share)) {
+    // Benign trailing fragments (large transfers over UDP).
+    net::FlowRecord flow;
+    flow.minute = minute;
+    flow.src_ip = random_server(rng);
+    flow.dst_ip = random_client(rng);
+    flow.protocol = 17;
+    flow.src_port = 0;
+    flow.dst_port = 0;
+    flow.packets = 1 + static_cast<std::uint32_t>(rng.below(3));
+    flow.bytes = static_cast<std::uint64_t>(
+        flow.packets * sample_fragment_size(rng));
+    flow.src_member = member_of(flow.src_ip);
+    out.push_back(flow);
+    return;
+  }
+
+  const BenignService& svc = kBenignServices[rng.weighted(kWeights)];
+  net::FlowRecord flow;
+  flow.minute = minute;
+  flow.protocol = svc.protocol;
+
+  const bool response = rng.chance(0.55);
+  if (response) {
+    // Server -> client: source port is the service port. Infrastructure
+    // protocols (DNS/NTP/SNMP) flow back towards the busy *server* hosts
+    // themselves — content servers resolve domains, sync clocks, and get
+    // SNMP-polled. This is what gives the benign class its well-known-
+    // DDoS-port share (~7.5%, Figure 4a) even after per-IP balancing.
+    const bool infra = svc.server_port == 53 || svc.server_port == 123 ||
+                       svc.server_port == 161;
+    flow.src_ip = random_server(rng);
+    flow.dst_ip = infra ? random_server(rng) : random_client(rng);
+    flow.src_port = svc.server_port != 0 ? svc.server_port : ephemeral_port(rng);
+    flow.dst_port = ephemeral_port(rng);
+    flow.packets = 1 + static_cast<std::uint32_t>(rng.zipf(16, 1.2));
+    const double size = std::clamp(rng.normal(svc.mean_size, svc.stddev_size),
+                                   60.0, 1500.0);
+    flow.bytes = static_cast<std::uint64_t>(flow.packets * size);
+  } else {
+    // Client -> server: requests are small.
+    flow.src_ip = random_client(rng);
+    flow.dst_ip = random_server(rng);
+    flow.src_port = ephemeral_port(rng);
+    flow.dst_port = svc.server_port != 0 ? svc.server_port : ephemeral_port(rng);
+    flow.packets = 1 + static_cast<std::uint32_t>(rng.zipf(8, 1.2));
+    const double size = std::clamp(rng.normal(260.0, 140.0), 60.0, 1500.0);
+    flow.bytes = static_cast<std::uint64_t>(flow.packets * size);
+  }
+  if (svc.protocol == 6) flow.tcp_flags = 0x18;  // ACK|PSH
+  flow.src_member = member_of(flow.src_ip);
+  out.push_back(flow);
+}
+
+void TrafficGenerator::emit_benign_flow_to(std::uint32_t minute,
+                                           net::Ipv4Address dst,
+                                           std::vector<net::FlowRecord>& out,
+                                           util::Rng& rng) {
+  // Legitimate traffic still reaching an attacked host: web/API responses
+  // and requests addressed to the victim.
+  net::FlowRecord flow;
+  flow.minute = minute;
+  flow.dst_ip = dst;
+  flow.src_ip = random_client(rng);
+  flow.protocol = rng.chance(0.8) ? 6 : 17;
+  flow.src_port = ephemeral_port(rng);
+  flow.dst_port = rng.chance(0.7) ? 443 : 80;
+  flow.packets = 1 + static_cast<std::uint32_t>(rng.zipf(8, 1.2));
+  const double size = std::clamp(rng.normal(420.0, 260.0), 60.0, 1500.0);
+  flow.bytes = static_cast<std::uint64_t>(flow.packets * size);
+  if (flow.protocol == 6) flow.tcp_flags = 0x18;
+  flow.src_member = member_of(flow.src_ip);
+  out.push_back(flow);
+}
+
+void TrafficGenerator::emit_attack_flows(std::uint32_t minute,
+                                         const AttackEvent& attack,
+                                         std::vector<net::FlowRecord>& out,
+                                         util::Rng& rng) {
+  const auto flow_count = rng.poisson(attack.flows_per_minute);
+  const VectorTraffic& model = vector_traffic(attack.vector);
+  const net::VectorSignature* signature = nullptr;
+  for (const auto& sig : net::vector_signatures()) {
+    if (sig.vector == attack.vector) {
+      signature = &sig;
+      break;
+    }
+  }
+
+  for (std::uint64_t f = 0; f < flow_count; ++f) {
+    const auto slot =
+        static_cast<std::uint32_t>(rng.zipf(profile_.reflectors_per_vector, 1.0));
+    const net::Ipv4Address reflector = reflector_ip(attack.vector, slot, minute);
+
+    const bool fragment = rng.chance(model.fragment_fraction);
+    net::FlowRecord flow;
+    flow.minute = minute;
+    flow.src_ip = reflector;
+    flow.dst_ip = attack.victim;
+    if (fragment) {
+      flow.protocol = 17;
+      flow.src_port = 0;
+      flow.dst_port = 0;
+      flow.packets = 1 + static_cast<std::uint32_t>(rng.below(4));
+      flow.bytes = static_cast<std::uint64_t>(flow.packets *
+                                              sample_fragment_size(rng));
+    } else {
+      flow.protocol = signature != nullptr ? signature->protocol : 17;
+      flow.src_port = signature != nullptr ? signature->src_port : 0;
+      flow.dst_port = attack.dst_port_sprayed ? ephemeral_port(rng)
+                                              : attack.fixed_dst_port;
+      if (attack.vector == net::DdosVector::kGre) {
+        flow.src_port = 0;
+        flow.dst_port = 0;
+      }
+      flow.packets = 1 + static_cast<std::uint32_t>(rng.below(4));
+      flow.bytes = static_cast<std::uint64_t>(
+          flow.packets * sample_packet_size(attack.vector, rng));
+    }
+    flow.src_member = member_of(reflector);
+    out.push_back(flow);
+  }
+}
+
+void TrafficGenerator::generate_stream(std::uint32_t start_minute,
+                                       std::uint32_t minutes, Labeling labeling,
+                                       const MinuteSink& sink) {
+  util::Rng schedule_rng = util::Rng(seed_).fork(0xA77ACC);
+  schedule_attacks(start_minute, minutes, schedule_rng);
+
+  util::Rng rng = util::Rng(seed_).fork(0xF10775);
+  std::vector<net::FlowRecord> batch;
+  std::size_t next_attack = 0;
+  std::vector<const AttackEvent*> active;
+
+  for (std::uint32_t m = start_minute; m < start_minute + minutes; ++m) {
+    batch.clear();
+
+    // Benign background.
+    const auto benign = rng.poisson(profile_.benign_flows_per_minute);
+    for (std::uint64_t i = 0; i < benign; ++i) emit_benign_flow(m, batch, rng);
+
+    // Active attacks this minute.
+    while (next_attack < attacks_.size() &&
+           attacks_[next_attack].start_minute <= m) {
+      active.push_back(&attacks_[next_attack]);
+      ++next_attack;
+    }
+    std::erase_if(active,
+                  [m](const AttackEvent* a) { return a->end_minute <= m; });
+
+    for (const AttackEvent* attack : active) {
+      emit_attack_flows(m, *attack, batch, rng);
+      // Benign traffic that keeps flowing to the victim during the attack.
+      const auto benign_to_victim = rng.poisson(
+          attack->flows_per_minute * profile_.benign_victim_flow_fraction);
+      for (std::uint64_t i = 0; i < benign_to_victim; ++i)
+        emit_benign_flow_to(m, attack->victim, batch, rng);
+    }
+
+    // Label.
+    if (labeling == Labeling::kBlackholeRegistry) {
+      for (auto& flow : batch)
+        flow.blackholed = registry_.is_blackholed(flow.dst_ip, m);
+    } else {
+      // Ground truth: a flow is an attack flow iff it originates from the
+      // reflector address space (128.0.0.0/2) towards a victim host.
+      for (auto& flow : batch)
+        flow.blackholed = (flow.src_ip.value() >> 30) == 2;
+    }
+
+    sink(m, batch);
+  }
+}
+
+GeneratedTrace TrafficGenerator::generate(std::uint32_t start_minute,
+                                          std::uint32_t minutes,
+                                          Labeling labeling) {
+  GeneratedTrace trace;
+  generate_stream(start_minute, minutes, labeling,
+                  [&](std::uint32_t, std::span<const net::FlowRecord> flows) {
+                    trace.flows.insert(trace.flows.end(), flows.begin(),
+                                       flows.end());
+                  });
+  trace.attacks = attacks_;
+  trace.updates = updates_;
+  return trace;
+}
+
+}  // namespace scrubber::flowgen

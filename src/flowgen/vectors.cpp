@@ -1,0 +1,58 @@
+#include "flowgen/vectors.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace scrubber::flowgen {
+namespace {
+
+using net::DdosVector;
+
+// Packet-size models per vector. Means/deviations follow commonly reported
+// response sizes (monlist ~468 B, SSDP ~310 B, CLDAP/memcached near MTU
+// with fragments, ...). Prevalence weights shape the attack mix so that
+// the "top 7" of Table 3 dominate, as in the paper's dataset.
+constexpr std::array<VectorTraffic, net::kDdosVectorCount> kTraffic{{
+    {DdosVector::kUdpFragment, 760.0, 350.0, 0.00, 0.00},  // only as companion
+    {DdosVector::kDns, 1280.0, 180.0, 0.45, 0.22},
+    {DdosVector::kNtp, 468.0, 18.0, 0.05, 0.24},
+    {DdosVector::kSnmp, 920.0, 260.0, 0.20, 0.10},
+    {DdosVector::kLdap, 1440.0, 90.0, 0.40, 0.12},
+    {DdosVector::kSsdp, 310.0, 40.0, 0.02, 0.12},
+    {DdosVector::kAppleRd, 380.0, 28.0, 0.02, 0.06},
+    {DdosVector::kMemcached, 1430.0, 70.0, 0.70, 0.03},
+    {DdosVector::kChargen, 400.0, 150.0, 0.05, 0.02},
+    {DdosVector::kWsDiscovery, 650.0, 80.0, 0.05, 0.015},
+    {DdosVector::kRpcbind, 360.0, 40.0, 0.02, 0.012},
+    {DdosVector::kMssql, 310.0, 30.0, 0.02, 0.012},
+    {DdosVector::kDnsTcp, 800.0, 300.0, 0.00, 0.01},
+    {DdosVector::kUbiquiti, 390.0, 30.0, 0.02, 0.008},
+    {DdosVector::kDhcpDiscover, 300.0, 30.0, 0.02, 0.004},
+    {DdosVector::kGre, 1100.0, 250.0, 0.00, 0.006},
+    {DdosVector::kWccp, 1380.0, 90.0, 0.05, 0.004},
+    {DdosVector::kNetbios, 230.0, 25.0, 0.02, 0.008},
+    {DdosVector::kRip, 504.0, 20.0, 0.02, 0.006},
+    {DdosVector::kOpenVpn, 420.0, 60.0, 0.02, 0.006},
+    {DdosVector::kTftp, 516.0, 30.0, 0.02, 0.006},
+    {DdosVector::kMsTerminal, 1260.0, 100.0, 0.05, 0.008},
+}};
+
+}  // namespace
+
+const VectorTraffic& vector_traffic(net::DdosVector v) noexcept {
+  return kTraffic[static_cast<std::size_t>(v)];
+}
+
+double sample_packet_size(net::DdosVector v, util::Rng& rng) noexcept {
+  const VectorTraffic& model = vector_traffic(v);
+  const double size = rng.normal(model.mean_packet_size, model.stddev_packet_size);
+  return std::clamp(size, 60.0, 1500.0);
+}
+
+double sample_fragment_size(util::Rng& rng) noexcept {
+  // Trailing fragments of near-MTU amplification responses: broad sizes.
+  const double size = rng.normal(760.0, 350.0);
+  return std::clamp(size, 100.0, 1480.0);
+}
+
+}  // namespace scrubber::flowgen

@@ -1,0 +1,34 @@
+#pragma once
+// Per-vector DDoS traffic models: packet-size distributions, fragment
+// ratios, and relative prevalence. Parameters follow the published
+// characteristics of reflection/amplification vectors (e.g. NTP monlist
+// replies around 468 bytes, CLDAP/memcached at MTU with heavy trailing
+// fragments) so that Figure 4b's packet-size signatures reproduce.
+
+#include <cstdint>
+
+#include "net/protocols.hpp"
+#include "util/rng.hpp"
+
+namespace scrubber::flowgen {
+
+/// Traffic model of one attack vector.
+struct VectorTraffic {
+  net::DdosVector vector;
+  double mean_packet_size;     ///< bytes, of the non-fragment response packets
+  double stddev_packet_size;   ///< bytes
+  double fragment_fraction;    ///< share of accompanying UDP-fragment flows
+  double prevalence;           ///< relative weight when sampling attack vectors
+};
+
+/// Model for a vector; every DdosVector has an entry.
+[[nodiscard]] const VectorTraffic& vector_traffic(net::DdosVector v) noexcept;
+
+/// Samples a packet size (bytes, clamped to [60, 1500]) for a vector's
+/// non-fragment packets.
+[[nodiscard]] double sample_packet_size(net::DdosVector v, util::Rng& rng) noexcept;
+
+/// Samples a packet size for a UDP trailing fragment.
+[[nodiscard]] double sample_fragment_size(util::Rng& rng) noexcept;
+
+}  // namespace scrubber::flowgen

@@ -1,0 +1,90 @@
+#pragma once
+// Abstract interfaces of the ML stack: Classifier (fit/score/predict) and
+// Transformer (fit/apply), composed into the preprocessing + classifier
+// pipelines of Figure 8.
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace scrubber::ml {
+
+/// A binary classifier. Scores are probability-like values in [0, 1];
+/// predict() thresholds the score at 0.5.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset (all columns are expected to be numeric by the
+  /// time a classifier sees them; encoders run earlier in the pipeline).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Probability-like score for one feature row.
+  [[nodiscard]] virtual double score(std::span<const double> row) const = 0;
+
+  /// Hard 0/1 prediction; default thresholds score() at 0.5.
+  [[nodiscard]] virtual int predict(std::span<const double> row) const {
+    return score(row) >= 0.5 ? 1 : 0;
+  }
+
+  /// Batch prediction over all rows of a dataset.
+  [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const {
+    std::vector<int> out;
+    out.reserve(data.n_rows());
+    for (std::size_t i = 0; i < data.n_rows(); ++i)
+      out.push_back(predict(data.row(i)));
+    return out;
+  }
+
+  /// Short display name, e.g. "XGB".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (untrained state is copied as-is).
+  [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;
+};
+
+/// A fitted, stateful feature transformation applied row-wise in place.
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+
+  /// Learns transformation parameters from training data.
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Transforms one row in place. May change row semantics but not width;
+  /// width-changing transforms (PCA) implement output_width().
+  virtual void apply(std::span<double> row) const = 0;
+
+  /// Output row width given an input width (identity for most transforms).
+  [[nodiscard]] virtual std::size_t output_width(std::size_t input_width) const {
+    return input_width;
+  }
+
+  /// For width-changing transforms: writes the transformed row to `out`
+  /// (size output_width()). Default copies `row` then calls apply().
+  virtual void transform(std::span<const double> row, std::span<double> out) const {
+    std::copy(row.begin(), row.end(), out.begin());
+    apply(out);
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Transformer> clone() const = 0;
+
+  /// Fits on `data` and returns the transformed training dataset. The
+  /// default fits then applies; encoders that would leak target statistics
+  /// into training rows (WoE) override this with out-of-fold encoding.
+  [[nodiscard]] virtual Dataset fit_transform(const Dataset& data) {
+    fit(data);
+    return apply_to_dataset(data);
+  }
+
+  /// Applies the fitted transform to every row of a dataset (handles
+  /// width-changing transforms).
+  [[nodiscard]] Dataset apply_to_dataset(const Dataset& data) const;
+};
+
+}  // namespace scrubber::ml

@@ -1,0 +1,217 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+namespace scrubber::ml {
+namespace {
+
+/// Gini impurity of a node with `pos` positives among `n` samples.
+[[nodiscard]] double gini(std::size_t pos, std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(n);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+/// Recursive CART builder operating on an index workspace.
+class TreeBuilder {
+ public:
+  TreeBuilder(const Dataset& data, const DecisionTreeParams& params,
+              std::vector<DecisionTree::Node>& nodes)
+      : data_(data), params_(params), nodes_(nodes) {}
+
+  void build() {
+    std::vector<std::size_t> indices(data_.n_rows());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    grow(indices, 0);
+  }
+
+ private:
+  struct Split {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double gain = -1.0;  // weighted impurity decrease
+  };
+
+  std::int32_t grow(std::vector<std::size_t>& indices, std::size_t depth) {
+    const std::size_t n = indices.size();
+    std::size_t pos = 0;
+    for (const std::size_t i : indices) pos += static_cast<std::size_t>(data_.label(i) == 1);
+
+    DecisionTree::Node node;
+    node.samples = n;
+    node.impurity = gini(pos, n);
+    node.value = n == 0 ? 0.0 : static_cast<double>(pos) / static_cast<double>(n);
+
+    const auto index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node);
+
+    const bool depth_ok = params_.max_depth == 0 || depth < params_.max_depth;
+    if (!depth_ok || n < params_.min_samples_split || pos == 0 || pos == n)
+      return index;
+
+    const Split split = best_split(indices, node.impurity);
+    if (split.gain <= 0.0) return index;
+    // Weighted impurity decrease criterion (as in scikit-learn).
+    const double weighted_gain =
+        split.gain * static_cast<double>(n) / static_cast<double>(data_.n_rows());
+    if (weighted_gain < params_.min_impurity_decrease) return index;
+
+    std::vector<std::size_t> left_idx, right_idx;
+    left_idx.reserve(n);
+    right_idx.reserve(n);
+    for (const std::size_t i : indices) {
+      (data_.at(i, split.feature) <= split.threshold ? left_idx : right_idx)
+          .push_back(i);
+    }
+    if (left_idx.size() < params_.min_samples_leaf ||
+        right_idx.size() < params_.min_samples_leaf)
+      return index;
+
+    indices.clear();
+    indices.shrink_to_fit();  // release workspace before recursion
+
+    nodes_[index].feature = static_cast<std::uint32_t>(split.feature);
+    nodes_[index].threshold = split.threshold;
+    const std::int32_t left = grow(left_idx, depth + 1);
+    nodes_[index].left = left;
+    const std::int32_t right = grow(right_idx, depth + 1);
+    nodes_[index].right = right;
+    return index;
+  }
+
+  /// Exact best split over all features: sort by value, scan boundaries.
+  [[nodiscard]] Split best_split(const std::vector<std::size_t>& indices,
+                                 double parent_impurity) const {
+    const std::size_t n = indices.size();
+    Split best;
+    std::vector<std::pair<double, int>> values(n);
+    for (std::size_t feature = 0; feature < data_.n_cols(); ++feature) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = indices[k];
+        const double v = data_.at(i, feature);
+        values[k] = {is_missing(v) ? -1.0 : v, data_.label(i)};
+      }
+      std::sort(values.begin(), values.end());
+      if (values.front().first == values.back().first) continue;
+
+      std::size_t left_n = 0, left_pos = 0;
+      std::size_t total_pos = 0;
+      for (const auto& [v, y] : values) total_pos += static_cast<std::size_t>(y == 1);
+
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        ++left_n;
+        left_pos += static_cast<std::size_t>(values[k].second == 1);
+        if (values[k].first == values[k + 1].first) continue;
+        const std::size_t right_n = n - left_n;
+        if (left_n < params_.min_samples_leaf || right_n < params_.min_samples_leaf)
+          continue;
+        const double wl = static_cast<double>(left_n) / static_cast<double>(n);
+        const double wr = 1.0 - wl;
+        const double child_impurity = wl * gini(left_pos, left_n) +
+                                      wr * gini(total_pos - left_pos, right_n);
+        const double gain = parent_impurity - child_impurity;
+        if (gain > best.gain) {
+          best.feature = feature;
+          best.threshold = (values[k].first + values[k + 1].first) / 2.0;
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  const Dataset& data_;
+  const DecisionTreeParams& params_;
+  std::vector<DecisionTree::Node>& nodes_;
+};
+
+void DecisionTree::fit(const Dataset& data) {
+  nodes_.clear();
+  if (data.n_rows() == 0) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  TreeBuilder builder(data, params_, nodes_);
+  builder.build();
+  if (params_.ccp_alpha > 0.0) prune_ccp();
+}
+
+void DecisionTree::prune_ccp() {
+  // Weakest-link pruning: repeatedly collapse the internal node with the
+  // smallest effective alpha until it exceeds ccp_alpha.
+  auto subtree_stats = [&](auto&& self, std::int32_t index,
+                           double& risk, std::size_t& leaves) -> void {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.is_leaf()) {
+      risk += node.impurity * static_cast<double>(node.samples);
+      ++leaves;
+      return;
+    }
+    self(self, node.left, risk, leaves);
+    self(self, node.right, risk, leaves);
+  };
+
+  const double total = static_cast<double>(nodes_.empty() ? 1 : nodes_[0].samples);
+  while (true) {
+    double best_alpha = std::numeric_limits<double>::infinity();
+    std::int32_t best_node = -1;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].is_leaf()) continue;
+      double subtree_risk = 0.0;
+      std::size_t leaves = 0;
+      subtree_stats(subtree_stats, static_cast<std::int32_t>(i), subtree_risk, leaves);
+      const double node_risk =
+          nodes_[i].impurity * static_cast<double>(nodes_[i].samples);
+      const double alpha =
+          (node_risk - subtree_risk) / (total * static_cast<double>(leaves - 1));
+      if (alpha < best_alpha) {
+        best_alpha = alpha;
+        best_node = static_cast<std::int32_t>(i);
+      }
+    }
+    if (best_node < 0 || best_alpha > params_.ccp_alpha) break;
+    auto& node = nodes_[static_cast<std::size_t>(best_node)];
+    node.left = -1;
+    node.right = -1;
+  }
+}
+
+double DecisionTree::score(std::span<const double> row) const {
+  if (nodes_.empty()) return 0.5;
+  std::size_t index = 0;
+  while (!nodes_[index].is_leaf()) {
+    const Node& node = nodes_[index];
+    const double v =
+        node.feature < row.size() && !is_missing(row[node.feature])
+            ? row[node.feature]
+            : -1.0;
+    index = static_cast<std::size_t>(v <= node.threshold ? node.left : node.right);
+  }
+  return nodes_[index].value;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  std::size_t max_depth = 0;
+  // Iterative DFS with explicit depth tracking.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (!node.is_leaf()) {
+      stack.emplace_back(static_cast<std::size_t>(node.left), depth + 1);
+      stack.emplace_back(static_cast<std::size_t>(node.right), depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace scrubber::ml

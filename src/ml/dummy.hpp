@@ -1,0 +1,32 @@
+#pragma once
+// Dummy classifier (DUM in Tables 3/5): guesses a label uniformly at
+// random — the paper's worst-conceivable baseline.
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+
+/// Uniform random coin-toss classifier.
+class DummyClassifier final : public Classifier {
+ public:
+  explicit DummyClassifier(std::uint64_t seed = 99) noexcept : rng_(seed) {}
+
+  void fit(const Dataset&) override {}
+
+  [[nodiscard]] double score(std::span<const double>) const override {
+    // The coin toss is state-mutating; rng_ is mutable by design so the
+    // classifier still presents the const scoring interface.
+    return rng_.uniform();
+  }
+
+  [[nodiscard]] std::string name() const override { return "DUM"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<DummyClassifier>(*this);
+  }
+
+ private:
+  mutable util::Rng rng_;
+};
+
+}  // namespace scrubber::ml

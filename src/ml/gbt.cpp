@@ -1,0 +1,273 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace scrubber::ml {
+namespace {
+
+[[nodiscard]] double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Quantile bin edges and a binned column-major copy of the training data.
+class BinnedMatrix {
+ public:
+  BinnedMatrix(const Dataset& data, std::size_t max_bins) {
+    rows_ = data.n_rows();
+    cols_ = data.n_cols();
+    edges_.resize(cols_);
+    binned_.resize(rows_ * cols_);
+
+    std::vector<double> values;
+    values.reserve(rows_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      values.clear();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const double v = data.at(i, j);
+        values.push_back(is_missing(v) ? -1.0 : v);
+      }
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+      auto& edges = edges_[j];
+      if (sorted.size() <= max_bins) {
+        // One bin per distinct value; edges are midpoints.
+        for (std::size_t k = 0; k + 1 < sorted.size(); ++k)
+          edges.push_back((sorted[k] + sorted[k + 1]) / 2.0);
+      } else {
+        for (std::size_t b = 1; b < max_bins; ++b) {
+          const std::size_t idx = b * sorted.size() / max_bins;
+          const double edge = sorted[idx];
+          if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+        }
+      }
+      // Bin assignment: bin = count of edges <= value (upper_bound).
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const auto it = std::upper_bound(edges.begin(), edges.end(), values[i]);
+        binned_[j * rows_ + i] =
+            static_cast<std::uint16_t>(std::distance(edges.begin(), it));
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint16_t bin(std::size_t row, std::size_t col) const noexcept {
+    return binned_[col * rows_ + row];
+  }
+  [[nodiscard]] std::size_t bin_count(std::size_t col) const noexcept {
+    return edges_[col].size() + 1;
+  }
+  /// Raw-value threshold of splitting "bin <= b" on column `col`.
+  [[nodiscard]] double edge_value(std::size_t col, std::size_t b) const noexcept {
+    return edges_[col][b];
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::vector<double>> edges_;  // per column, ascending
+  std::vector<std::uint16_t> binned_;       // column-major bins
+};
+
+struct SplitChoice {
+  double gain = 0.0;
+  std::size_t feature = 0;
+  std::size_t bin = 0;  // split: bin <= this goes left
+  bool valid = false;
+};
+
+}  // namespace
+
+void GradientBoostedTrees::fit(const Dataset& data) {
+  trees_.clear();
+  importance_.assign(data.n_cols(), FeatureGain{});
+  for (std::size_t j = 0; j < data.n_cols(); ++j) importance_[j].feature = j;
+
+  const std::size_t n = data.n_rows();
+  if (n == 0) {
+    base_margin_ = 0.0;
+    return;
+  }
+  // Initialize the margin at the log-odds of the base rate.
+  const double pos = static_cast<double>(data.positive_count());
+  const double base_rate = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  base_margin_ = std::log(base_rate / (1.0 - base_rate));
+
+  const BinnedMatrix binned(data, params_.max_bins);
+
+  std::vector<double> margin(n, base_margin_);
+  std::vector<double> grad(n), hess(n);
+  std::vector<std::size_t> row_node(n);  // node id each row currently sits in
+
+  for (std::size_t round = 0; round < params_.n_estimators; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(data.label(i));
+      hess[i] = std::max(p * (1.0 - p), 1e-16);
+    }
+
+    Tree tree;
+    tree.push_back(Node{});
+    std::fill(row_node.begin(), row_node.end(), std::size_t{0});
+    std::vector<std::size_t> frontier{0};  // node ids open at current depth
+
+    for (std::size_t depth = 0; depth < params_.max_depth && !frontier.empty();
+         ++depth) {
+      // Histograms per open node: G and H per (feature, bin).
+      const std::size_t open = frontier.size();
+      std::vector<std::size_t> node_slot(tree.size(),
+                                         std::numeric_limits<std::size_t>::max());
+      for (std::size_t s = 0; s < open; ++s) node_slot[frontier[s]] = s;
+
+      std::vector<double> node_g(open, 0.0), node_h(open, 0.0);
+      std::vector<std::size_t> node_rows(open, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t slot = node_slot[row_node[i]];
+        if (slot == std::numeric_limits<std::size_t>::max()) continue;
+        node_g[slot] += grad[i];
+        node_h[slot] += hess[i];
+        ++node_rows[slot];
+      }
+
+      std::vector<SplitChoice> best(open);
+      // Per-feature pass: build histograms for all open nodes at once.
+      std::vector<double> hist_g, hist_h;
+      for (std::size_t feature = 0; feature < binned.cols(); ++feature) {
+        const std::size_t bins = binned.bin_count(feature);
+        if (bins <= 1) continue;
+        hist_g.assign(open * bins, 0.0);
+        hist_h.assign(open * bins, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t slot = node_slot[row_node[i]];
+          if (slot == std::numeric_limits<std::size_t>::max()) continue;
+          const std::size_t b = binned.bin(i, feature);
+          hist_g[slot * bins + b] += grad[i];
+          hist_h[slot * bins + b] += hess[i];
+        }
+        for (std::size_t s = 0; s < open; ++s) {
+          const double g_total = node_g[s];
+          const double h_total = node_h[s];
+          const double parent_score =
+              g_total * g_total / (h_total + params_.reg_lambda);
+          double gl = 0.0, hl = 0.0;
+          for (std::size_t b = 0; b + 1 < bins; ++b) {
+            gl += hist_g[s * bins + b];
+            hl += hist_h[s * bins + b];
+            const double gr = g_total - gl;
+            const double hr = h_total - hl;
+            if (hl < params_.min_child_weight || hr < params_.min_child_weight)
+              continue;
+            const double gain =
+                0.5 * (gl * gl / (hl + params_.reg_lambda) +
+                       gr * gr / (hr + params_.reg_lambda) - parent_score) -
+                params_.gamma;
+            if (gain > best[s].gain) {
+              best[s] = SplitChoice{gain, feature, b, true};
+            }
+          }
+        }
+      }
+
+      // Materialize accepted splits; rows are reassigned to child nodes.
+      std::vector<std::size_t> next_frontier;
+      std::vector<std::int32_t> left_of(open, -1);
+      for (std::size_t s = 0; s < open; ++s) {
+        const std::size_t node_id = frontier[s];
+        if (!best[s].valid || node_rows[s] < 2) continue;
+        const auto left = static_cast<std::int32_t>(tree.size());
+        {
+          Node& node = tree[node_id];
+          node.feature = static_cast<std::uint32_t>(best[s].feature);
+          node.threshold = binned.edge_value(best[s].feature, best[s].bin);
+          node.left = left;
+          node.right = left + 1;
+        }  // reference dies before push_back may reallocate the vector
+        left_of[s] = left;
+        tree.push_back(Node{});
+        tree.push_back(Node{});
+        next_frontier.push_back(static_cast<std::size_t>(left));
+        next_frontier.push_back(static_cast<std::size_t>(left + 1));
+        auto& gain_entry = importance_[best[s].feature];
+        gain_entry.total_gain += best[s].gain;
+        ++gain_entry.split_count;
+      }
+      if (next_frontier.empty()) break;
+
+      // Route rows to children. The split stored a raw-value threshold, but
+      // during training we route via bins for exactness.
+      std::vector<std::size_t> split_bin(open), split_feature(open);
+      for (std::size_t s = 0; s < open; ++s) {
+        split_bin[s] = best[s].bin;
+        split_feature[s] = best[s].feature;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t slot = node_slot[row_node[i]];
+        if (slot == std::numeric_limits<std::size_t>::max() || left_of[slot] < 0)
+          continue;
+        const bool goes_left =
+            binned.bin(i, split_feature[slot]) <= split_bin[slot];
+        row_node[i] = static_cast<std::size_t>(left_of[slot] + (goes_left ? 0 : 1));
+      }
+      frontier = std::move(next_frontier);
+    }
+
+    // Leaf weights: w = -G / (H + lambda), shrunk by the learning rate.
+    std::vector<double> leaf_g(tree.size(), 0.0), leaf_h(tree.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      leaf_g[row_node[i]] += grad[i];
+      leaf_h[row_node[i]] += hess[i];
+    }
+    for (std::size_t t = 0; t < tree.size(); ++t) {
+      if (tree[t].is_leaf()) {
+        tree[t].value = -params_.learning_rate * leaf_g[t] /
+                        (leaf_h[t] + params_.reg_lambda);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) margin[i] += tree[row_node[i]].value;
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::margin(std::span<const double> row) const {
+  double total = base_margin_;
+  for (const Tree& tree : trees_) {
+    std::size_t index = 0;
+    while (!tree[index].is_leaf()) {
+      const Node& node = tree[index];
+      const double v = node.feature < row.size() && !is_missing(row[node.feature])
+                           ? row[node.feature]
+                           : -1.0;
+      index = static_cast<std::size_t>(v <= node.threshold ? node.left : node.right);
+    }
+    total += tree[index].value;
+  }
+  return total;
+}
+
+double GradientBoostedTrees::score(std::span<const double> row) const {
+  return sigmoid(margin(row));
+}
+
+std::vector<FeatureGain> GradientBoostedTrees::gain_importance() const {
+  std::vector<FeatureGain> sorted = importance_;
+  std::erase_if(sorted, [](const FeatureGain& g) { return g.split_count == 0; });
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FeatureGain& a, const FeatureGain& b) {
+              return a.average_gain() > b.average_gain();
+            });
+  return sorted;
+}
+
+void GradientBoostedTrees::restore(std::vector<Tree> trees, double base_margin,
+                                   GbtParams params,
+                                   std::vector<FeatureGain> importance) {
+  trees_ = std::move(trees);
+  base_margin_ = base_margin;
+  params_ = params;
+  importance_ = std::move(importance);
+}
+
+}  // namespace scrubber::ml

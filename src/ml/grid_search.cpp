@@ -1,0 +1,74 @@
+#include "ml/grid_search.hpp"
+
+namespace scrubber::ml {
+
+std::vector<ParamPoint> param_grid(
+    const std::map<std::string, std::vector<double>>& axes) {
+  std::vector<ParamPoint> grid{{}};
+  for (const auto& [name, values] : axes) {
+    std::vector<ParamPoint> next;
+    next.reserve(grid.size() * values.size());
+    for (const auto& point : grid) {
+      for (const double v : values) {
+        ParamPoint extended = point;
+        extended[name] = v;
+        next.push_back(std::move(extended));
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+namespace {
+
+/// Mean F_beta over stratified folds for one pipeline factory.
+double score_folds(const Dataset& data,
+                   const std::function<Pipeline()>& factory, std::size_t folds,
+                   util::Rng& rng, double beta) {
+  const auto fold_indices = data.stratified_folds(folds, rng);
+  double total = 0.0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(), fold_indices[g].begin(),
+                       fold_indices[g].end());
+    }
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(fold_indices[f]);
+    Pipeline pipeline = factory();
+    pipeline.fit(train);
+    const std::vector<int> predicted = pipeline.predict_all(test);
+    total += evaluate(test.labels(), predicted).f_beta(beta);
+  }
+  return total / static_cast<double>(folds);
+}
+
+}  // namespace
+
+double cross_val_fbeta(const Dataset& data,
+                       const std::function<Pipeline()>& factory,
+                       std::size_t folds, util::Rng& rng, double beta) {
+  return score_folds(data, factory, folds, rng, beta);
+}
+
+GridSearchResult grid_search(
+    const Dataset& data, const std::vector<ParamPoint>& grid,
+    const std::function<Pipeline(const ParamPoint&)>& factory, std::size_t folds,
+    util::Rng& rng) {
+  GridSearchResult result;
+  result.all_scores.reserve(grid.size());
+  for (const auto& point : grid) {
+    const double score = score_folds(
+        data, [&] { return factory(point); }, folds, rng, 0.5);
+    result.all_scores.emplace_back(point, score);
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_params = point;
+    }
+  }
+  return result;
+}
+
+}  // namespace scrubber::ml

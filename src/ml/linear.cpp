@@ -1,0 +1,96 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+
+void LinearSvm::fit(const Dataset& data) {
+  const std::size_t n = data.n_rows();
+  const std::size_t d = data.n_cols();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return;
+
+  // Optional class weighting (Table 4: class weight in {none, balanced}).
+  const double pos = static_cast<double>(data.positive_count());
+  const double neg = static_cast<double>(n) - pos;
+  double w_pos = 1.0, w_neg = 1.0;
+  if (params_.balanced_class_weight && pos > 0.0 && neg > 0.0) {
+    w_pos = static_cast<double>(n) / (2.0 * pos);
+    w_neg = static_cast<double>(n) / (2.0 * neg);
+  }
+
+  util::Rng rng(params_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Averaged SGD: the returned model is the running average of iterates,
+  // which stabilizes the hinge objective considerably.
+  std::vector<double> avg_w(d, 0.0);
+  double avg_b = 0.0;
+  std::size_t averaged = 0;
+  std::size_t t = 0;
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const double eta =
+          params_.learning_rate / std::sqrt(static_cast<double>(t));
+      const auto row = data.row(i);
+      const double y = data.label(i) == 1 ? 1.0 : -1.0;
+      const double cls_weight = y > 0 ? w_pos : w_neg;
+
+      double m = bias_;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double v = is_missing(row[j]) ? 0.0 : row[j];
+        m += weights_[j] * v;
+      }
+      const double slack = 1.0 - y * m;
+
+      // Regularizer gradient: w (applied with per-sample scaling 1/n).
+      const double reg_scale = 1.0 / static_cast<double>(n);
+      if (slack > 0.0) {
+        const double loss_grad = -2.0 * params_.c * cls_weight * slack * y;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double v = is_missing(row[j]) ? 0.0 : row[j];
+          weights_[j] -= eta * (weights_[j] * reg_scale + loss_grad * v);
+        }
+        bias_ -= eta * loss_grad;
+      } else {
+        for (std::size_t j = 0; j < d; ++j)
+          weights_[j] -= eta * weights_[j] * reg_scale;
+      }
+      // Tail averaging over the second half of training.
+      if (epoch * 2 >= params_.epochs) {
+        ++averaged;
+        const double k = 1.0 / static_cast<double>(averaged);
+        for (std::size_t j = 0; j < d; ++j)
+          avg_w[j] += (weights_[j] - avg_w[j]) * k;
+        avg_b += (bias_ - avg_b) * k;
+      }
+    }
+  }
+  if (averaged > 0) {
+    weights_ = std::move(avg_w);
+    bias_ = avg_b;
+  }
+}
+
+double LinearSvm::margin(std::span<const double> row) const {
+  double m = bias_;
+  for (std::size_t j = 0; j < row.size() && j < weights_.size(); ++j) {
+    const double v = is_missing(row[j]) ? 0.0 : row[j];
+    m += weights_[j] * v;
+  }
+  return m;
+}
+
+double LinearSvm::score(std::span<const double> row) const {
+  return 1.0 / (1.0 + std::exp(-margin(row)));
+}
+
+}  // namespace scrubber::ml

@@ -1,0 +1,58 @@
+#pragma once
+// Linear support vector machine trained with averaged stochastic
+// (sub)gradient descent on the primal squared-hinge objective
+//   min_w  0.5 ||w||^2 + C * sum_i max(0, 1 - y_i (w.x_i + b))^2
+// matching scikit-learn's LinearSVC(loss="squared_hinge") searched in
+// Table 4. Scores are calibrated through a logistic link on the margin.
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace scrubber::ml {
+
+/// LSVM hyperparameters (Table 4 grid). The paper selected C = 1e-5 on
+/// ~800k-sample folds; the hinge term scales with the sample count, so at
+/// this repo's dataset sizes C = 1.0 is the equivalent operating point
+/// (the Table 4 bench sweeps the full grid).
+struct LinearSvmParams {
+  double c = 1.0;                ///< regularization trade-off (C)
+  bool balanced_class_weight = false;  ///< reweight classes by inverse frequency
+  std::size_t epochs = 30;       ///< SGD passes over the data
+  double learning_rate = 0.05;   ///< initial step size (decays 1/sqrt(t))
+  std::uint64_t seed = 7;        ///< shuffle seed
+};
+
+/// Linear SVM binary classifier.
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmParams params = {}) noexcept : params_(params) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double score(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "LSVM"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<LinearSvm>(*this);
+  }
+
+  /// Signed distance to the separating hyperplane.
+  [[nodiscard]] double margin(std::span<const double> row) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+
+  /// Restores a trained model (model_io / cross-IXP transfer).
+  void restore(std::vector<double> weights, double bias) {
+    weights_ = std::move(weights);
+    bias_ = bias;
+  }
+
+ private:
+  LinearSvmParams params_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace scrubber::ml

@@ -1,0 +1,407 @@
+#include "ml/model_io.hpp"
+
+#include <stdexcept>
+
+#include "ml/dummy.hpp"
+#include "ml/pca.hpp"
+#include "ml/preprocess.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+util::Json doubles_to_json(const std::vector<double>& values) {
+  util::JsonArray out;
+  out.reserve(values.size());
+  for (const double v : values) out.emplace_back(v);
+  return util::Json(std::move(out));
+}
+
+std::vector<double> doubles_from_json(const util::Json& json) {
+  std::vector<double> out;
+  for (const auto& v : json.as_array()) out.push_back(v.as_number());
+  return out;
+}
+
+util::Json tree_to_json(const GradientBoostedTrees::Tree& tree) {
+  util::JsonArray nodes;
+  nodes.reserve(tree.size());
+  for (const auto& node : tree) {
+    util::JsonObject obj;
+    obj.emplace_back("l", util::Json(static_cast<std::int64_t>(node.left)));
+    obj.emplace_back("r", util::Json(static_cast<std::int64_t>(node.right)));
+    obj.emplace_back("f", util::Json(static_cast<std::int64_t>(node.feature)));
+    obj.emplace_back("t", util::Json(node.threshold));
+    obj.emplace_back("v", util::Json(node.value));
+    nodes.emplace_back(std::move(obj));
+  }
+  return util::Json(std::move(nodes));
+}
+
+GradientBoostedTrees::Tree tree_from_json(const util::Json& json) {
+  GradientBoostedTrees::Tree tree;
+  for (const auto& entry : json.as_array()) {
+    GradientBoostedTrees::Node node;
+    node.left = static_cast<std::int32_t>(entry.at("l").as_int());
+    node.right = static_cast<std::int32_t>(entry.at("r").as_int());
+    node.feature = static_cast<std::uint32_t>(entry.at("f").as_int());
+    node.threshold = entry.at("t").as_number();
+    node.value = entry.at("v").as_number();
+    tree.push_back(node);
+  }
+  return tree;
+}
+
+}  // namespace
+
+util::Json gbt_to_json(const GradientBoostedTrees& model) {
+  util::Json out;
+  out.set("type", util::Json("gbt"));
+  out.set("base_margin", util::Json(model.base_margin()));
+  {
+    const auto& p = model.params();
+    util::Json params;
+    params.set("n_estimators", util::Json(static_cast<std::uint64_t>(p.n_estimators)));
+    params.set("max_depth", util::Json(static_cast<std::uint64_t>(p.max_depth)));
+    params.set("learning_rate", util::Json(p.learning_rate));
+    params.set("reg_lambda", util::Json(p.reg_lambda));
+    params.set("gamma", util::Json(p.gamma));
+    params.set("min_child_weight", util::Json(p.min_child_weight));
+    params.set("max_bins", util::Json(static_cast<std::uint64_t>(p.max_bins)));
+    out.set("params", std::move(params));
+  }
+  {
+    util::JsonArray trees;
+    trees.reserve(model.trees().size());
+    for (const auto& tree : model.trees()) trees.push_back(tree_to_json(tree));
+    out.set("trees", util::Json(std::move(trees)));
+  }
+  {
+    util::JsonArray gains;
+    for (const auto& g : model.gain_importance()) {
+      util::JsonObject obj;
+      obj.emplace_back("feature", util::Json(static_cast<std::uint64_t>(g.feature)));
+      obj.emplace_back("total_gain", util::Json(g.total_gain));
+      obj.emplace_back("splits", util::Json(static_cast<std::uint64_t>(g.split_count)));
+      gains.emplace_back(std::move(obj));
+    }
+    out.set("importance", util::Json(std::move(gains)));
+  }
+  return out;
+}
+
+std::unique_ptr<GradientBoostedTrees> gbt_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "gbt")
+    throw util::JsonError("not a gbt model");
+  GbtParams params;
+  const auto& p = json.at("params");
+  params.n_estimators = static_cast<std::size_t>(p.at("n_estimators").as_int());
+  params.max_depth = static_cast<std::size_t>(p.at("max_depth").as_int());
+  params.learning_rate = p.at("learning_rate").as_number();
+  params.reg_lambda = p.at("reg_lambda").as_number();
+  params.gamma = p.at("gamma").as_number();
+  params.min_child_weight = p.at("min_child_weight").as_number();
+  params.max_bins = static_cast<std::size_t>(p.at("max_bins").as_int());
+
+  std::vector<GradientBoostedTrees::Tree> trees;
+  for (const auto& tree : json.at("trees").as_array())
+    trees.push_back(tree_from_json(tree));
+
+  std::vector<FeatureGain> importance;
+  if (const auto* gains = json.find("importance")) {
+    for (const auto& entry : gains->as_array()) {
+      FeatureGain g;
+      g.feature = static_cast<std::size_t>(entry.at("feature").as_int());
+      g.total_gain = entry.at("total_gain").as_number();
+      g.split_count = static_cast<std::size_t>(entry.at("splits").as_int());
+      importance.push_back(g);
+    }
+  }
+
+  auto model = std::make_unique<GradientBoostedTrees>(params);
+  model->restore(std::move(trees), json.at("base_margin").as_number(), params,
+                 std::move(importance));
+  return model;
+}
+
+util::Json lsvm_to_json(const LinearSvm& model) {
+  util::Json out;
+  out.set("type", util::Json("lsvm"));
+  out.set("bias", util::Json(model.bias()));
+  util::JsonArray weights;
+  weights.reserve(model.weights().size());
+  for (const double w : model.weights()) weights.emplace_back(w);
+  out.set("weights", util::Json(std::move(weights)));
+  return out;
+}
+
+std::unique_ptr<LinearSvm> lsvm_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "lsvm")
+    throw util::JsonError("not an lsvm model");
+  std::vector<double> weights;
+  for (const auto& w : json.at("weights").as_array())
+    weights.push_back(w.as_number());
+  auto model = std::make_unique<LinearSvm>();
+  model->restore(std::move(weights), json.at("bias").as_number());
+  return model;
+}
+
+util::Json woe_to_json(const WoeEncoder& encoder, std::size_t total_columns) {
+  util::Json out;
+  out.set("type", util::Json("woe"));
+  out.set("columns", util::Json(static_cast<std::uint64_t>(total_columns)));
+  util::JsonArray tables;
+  for (const std::size_t j : encoder.encoded_columns()) {
+    util::JsonObject entry;
+    entry.emplace_back("index", util::Json(static_cast<std::uint64_t>(j)));
+    util::JsonArray pairs;
+    for (const auto& [value, woe] : encoder.column(j).table()) {
+      util::JsonArray pair;
+      pair.emplace_back(static_cast<double>(value));
+      pair.emplace_back(woe);
+      pairs.emplace_back(std::move(pair));
+    }
+    entry.emplace_back("table", util::Json(std::move(pairs)));
+    tables.emplace_back(std::move(entry));
+  }
+  out.set("tables", util::Json(std::move(tables)));
+  return out;
+}
+
+std::unique_ptr<WoeEncoder> woe_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "woe")
+    throw util::JsonError("not a woe encoder");
+  const auto total = static_cast<std::size_t>(json.at("columns").as_int());
+  std::vector<std::optional<WoeColumn>> columns(total);
+  for (const auto& entry : json.at("tables").as_array()) {
+    const auto index = static_cast<std::size_t>(entry.at("index").as_int());
+    if (index >= total) throw util::JsonError("woe column index out of range");
+    std::unordered_map<std::int64_t, double> table;
+    for (const auto& pair : entry.at("table").as_array()) {
+      const auto& kv = pair.as_array();
+      if (kv.size() != 2) throw util::JsonError("woe pair must have 2 entries");
+      table.emplace(static_cast<std::int64_t>(kv[0].as_int()), kv[1].as_number());
+    }
+    columns[index] = WoeColumn::from_table(std::move(table));
+  }
+  auto encoder = std::make_unique<WoeEncoder>();
+  encoder->restore(std::move(columns));
+  return encoder;
+}
+
+util::Json dt_to_json(const DecisionTree& model) {
+  util::Json out;
+  out.set("type", util::Json("dt"));
+  util::JsonArray nodes;
+  nodes.reserve(model.nodes().size());
+  for (const auto& node : model.nodes()) {
+    util::JsonObject obj;
+    obj.emplace_back("l", util::Json(static_cast<std::int64_t>(node.left)));
+    obj.emplace_back("r", util::Json(static_cast<std::int64_t>(node.right)));
+    obj.emplace_back("f", util::Json(static_cast<std::int64_t>(node.feature)));
+    obj.emplace_back("t", util::Json(node.threshold));
+    obj.emplace_back("v", util::Json(node.value));
+    nodes.emplace_back(std::move(obj));
+  }
+  out.set("nodes", util::Json(std::move(nodes)));
+  return out;
+}
+
+std::unique_ptr<DecisionTree> dt_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "dt") throw util::JsonError("not a dt model");
+  std::vector<DecisionTree::Node> nodes;
+  for (const auto& entry : json.at("nodes").as_array()) {
+    DecisionTree::Node node;
+    node.left = static_cast<std::int32_t>(entry.at("l").as_int());
+    node.right = static_cast<std::int32_t>(entry.at("r").as_int());
+    node.feature = static_cast<std::uint32_t>(entry.at("f").as_int());
+    node.threshold = entry.at("t").as_number();
+    node.value = entry.at("v").as_number();
+    nodes.push_back(node);
+  }
+  auto model = std::make_unique<DecisionTree>();
+  model->restore(std::move(nodes));
+  return model;
+}
+
+util::Json nn_to_json(const NeuralNet& model) {
+  const auto weights = model.weights();
+  util::Json out;
+  out.set("type", util::Json("nn"));
+  out.set("input_width", util::Json(static_cast<std::uint64_t>(weights.input_width)));
+  out.set("w1", doubles_to_json(weights.w1));
+  out.set("b1", doubles_to_json(weights.b1));
+  out.set("w2", doubles_to_json(weights.w2));
+  out.set("b2", util::Json(weights.b2));
+  return out;
+}
+
+std::unique_ptr<NeuralNet> nn_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "nn") throw util::JsonError("not a nn model");
+  NeuralNet::Weights weights;
+  weights.input_width = static_cast<std::size_t>(json.at("input_width").as_int());
+  weights.w1 = doubles_from_json(json.at("w1"));
+  weights.b1 = doubles_from_json(json.at("b1"));
+  weights.w2 = doubles_from_json(json.at("w2"));
+  weights.b2 = json.at("b2").as_number();
+  auto model = std::make_unique<NeuralNet>();
+  model->restore(std::move(weights));
+  return model;
+}
+
+util::Json nbg_to_json(const GaussianNaiveBayes& model) {
+  const auto params = model.trained_params();
+  util::Json out;
+  out.set("type", util::Json("nbg"));
+  for (int c = 0; c < 2; ++c) {
+    const std::string suffix = std::to_string(c);
+    out.set("log_prior" + suffix, util::Json(params.log_prior[c]));
+    out.set("mean" + suffix, doubles_to_json(params.mean[c]));
+    out.set("var" + suffix, doubles_to_json(params.var[c]));
+  }
+  return out;
+}
+
+std::unique_ptr<GaussianNaiveBayes> nbg_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "nbg")
+    throw util::JsonError("not an nbg model");
+  GaussianNaiveBayes::Params params;
+  for (int c = 0; c < 2; ++c) {
+    const std::string suffix = std::to_string(c);
+    params.log_prior[c] = json.at("log_prior" + suffix).as_number();
+    params.mean[c] = doubles_from_json(json.at("mean" + suffix));
+    params.var[c] = doubles_from_json(json.at("var" + suffix));
+  }
+  auto model = std::make_unique<GaussianNaiveBayes>();
+  model->restore(std::move(params));
+  return model;
+}
+
+namespace {
+
+util::Json stage_to_json(const Transformer& stage, std::size_t total_columns) {
+  const std::string name = stage.name();
+  util::Json out;
+  out.set("stage", util::Json(name));
+  if (name == "FR") {
+    const auto& reducer = static_cast<const FeatureReducer&>(stage);
+    util::JsonArray dropped;
+    for (const std::size_t j : reducer.dropped())
+      dropped.emplace_back(static_cast<std::uint64_t>(j));
+    out.set("dropped", util::Json(std::move(dropped)));
+  } else if (name == "I") {
+    out.set("fill", util::Json(static_cast<const Imputer&>(stage).fill_value()));
+  } else if (name == "WoE") {
+    out.set("encoder",
+            woe_to_json(static_cast<const WoeEncoder&>(stage), total_columns));
+  } else if (name == "S") {
+    const auto& standardizer = static_cast<const Standardizer&>(stage);
+    out.set("means", doubles_to_json(standardizer.means()));
+    out.set("stddevs", doubles_to_json(standardizer.stddevs()));
+  } else if (name == "N") {
+    const auto& normalizer = static_cast<const MinMaxNormalizer&>(stage);
+    out.set("mins", doubles_to_json(normalizer.mins()));
+    out.set("ranges", doubles_to_json(normalizer.ranges()));
+  } else if (name == "PCA") {
+    const auto& pca = static_cast<const Pca&>(stage);
+    out.set("components", util::Json(static_cast<std::uint64_t>(pca.components())));
+    out.set("input_width",
+            util::Json(static_cast<std::uint64_t>(pca.input_width())));
+    out.set("means", doubles_to_json(pca.means()));
+    out.set("eigenvalues", doubles_to_json(pca.eigenvalues()));
+    out.set("matrix", doubles_to_json(pca.components_matrix()));
+  } else {
+    throw std::invalid_argument("unsupported pipeline stage: " + name);
+  }
+  return out;
+}
+
+std::unique_ptr<Transformer> stage_from_json(const util::Json& json) {
+  const std::string& name = json.at("stage").as_string();
+  if (name == "FR") {
+    std::vector<std::size_t> dropped;
+    for (const auto& j : json.at("dropped").as_array())
+      dropped.push_back(static_cast<std::size_t>(j.as_int()));
+    auto reducer = std::make_unique<FeatureReducer>();
+    reducer->restore(std::move(dropped));
+    return reducer;
+  }
+  if (name == "I") return std::make_unique<Imputer>(json.at("fill").as_number());
+  if (name == "WoE") return woe_from_json(json.at("encoder"));
+  if (name == "S") {
+    auto standardizer = std::make_unique<Standardizer>();
+    standardizer->restore(doubles_from_json(json.at("means")),
+                          doubles_from_json(json.at("stddevs")));
+    return standardizer;
+  }
+  if (name == "N") {
+    auto normalizer = std::make_unique<MinMaxNormalizer>();
+    normalizer->restore(doubles_from_json(json.at("mins")),
+                        doubles_from_json(json.at("ranges")));
+    return normalizer;
+  }
+  if (name == "PCA") {
+    auto pca = std::make_unique<Pca>();
+    pca->restore(static_cast<std::size_t>(json.at("components").as_int()),
+                 static_cast<std::size_t>(json.at("input_width").as_int()),
+                 doubles_from_json(json.at("means")),
+                 doubles_from_json(json.at("eigenvalues")),
+                 doubles_from_json(json.at("matrix")));
+    return pca;
+  }
+  throw util::JsonError("unknown pipeline stage: " + name);
+}
+
+util::Json classifier_to_json(const Classifier& classifier) {
+  const std::string name = classifier.name();
+  if (name == "XGB")
+    return gbt_to_json(static_cast<const GradientBoostedTrees&>(classifier));
+  if (name == "DT") return dt_to_json(static_cast<const DecisionTree&>(classifier));
+  if (name == "LSVM") return lsvm_to_json(static_cast<const LinearSvm&>(classifier));
+  if (name == "NN") return nn_to_json(static_cast<const NeuralNet&>(classifier));
+  if (name == "NB-G")
+    return nbg_to_json(static_cast<const GaussianNaiveBayes&>(classifier));
+  if (name == "DUM") {
+    util::Json out;
+    out.set("type", util::Json("dum"));
+    return out;
+  }
+  throw std::invalid_argument("unsupported classifier for serialization: " + name);
+}
+
+std::unique_ptr<Classifier> classifier_from_json(const util::Json& json) {
+  const std::string& type = json.at("type").as_string();
+  if (type == "gbt") return gbt_from_json(json);
+  if (type == "dt") return dt_from_json(json);
+  if (type == "lsvm") return lsvm_from_json(json);
+  if (type == "nn") return nn_from_json(json);
+  if (type == "nbg") return nbg_from_json(json);
+  if (type == "dum") return std::make_unique<DummyClassifier>();
+  throw util::JsonError("unknown classifier type: " + type);
+}
+
+}  // namespace
+
+util::Json pipeline_to_json(const Pipeline& pipeline, std::size_t schema_columns) {
+  util::Json out;
+  out.set("type", util::Json("pipeline"));
+  out.set("columns", util::Json(static_cast<std::uint64_t>(schema_columns)));
+  util::JsonArray stages;
+  for (std::size_t i = 0; i < pipeline.stage_count(); ++i) {
+    stages.push_back(stage_to_json(pipeline.stage(i), schema_columns));
+  }
+  out.set("stages", util::Json(std::move(stages)));
+  out.set("classifier", classifier_to_json(pipeline.classifier()));
+  return out;
+}
+
+Pipeline pipeline_from_json(const util::Json& json) {
+  if (json.at("type").as_string() != "pipeline")
+    throw util::JsonError("not a pipeline document");
+  Pipeline pipeline;
+  for (const auto& stage : json.at("stages").as_array())
+    pipeline.add(stage_from_json(stage));
+  pipeline.set_classifier(classifier_from_json(json.at("classifier")));
+  return pipeline;
+}
+
+}  // namespace scrubber::ml

@@ -1,0 +1,65 @@
+#pragma once
+// JSON (de)serialization of trained models and WoE encoders.
+//
+// This is the mechanism behind geographic model transfer (§6.4): a trained
+// classifier can be exported at one IXP and imported at another, where it
+// runs on top of the receiving site's *local* WoE encoding.
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/neural_net.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/woe.hpp"
+#include "util/json.hpp"
+
+namespace scrubber::ml {
+
+/// Serializes a trained gradient-boosted-trees model.
+[[nodiscard]] util::Json gbt_to_json(const GradientBoostedTrees& model);
+
+/// Restores a gradient-boosted-trees model; throws util::JsonError.
+[[nodiscard]] std::unique_ptr<GradientBoostedTrees> gbt_from_json(
+    const util::Json& json);
+
+/// Serializes a trained linear SVM.
+[[nodiscard]] util::Json lsvm_to_json(const LinearSvm& model);
+
+/// Restores a linear SVM; throws util::JsonError.
+[[nodiscard]] std::unique_ptr<LinearSvm> lsvm_from_json(const util::Json& json);
+
+/// Serializes a fitted WoE encoder (all per-column tables).
+[[nodiscard]] util::Json woe_to_json(const WoeEncoder& encoder,
+                                     std::size_t total_columns);
+
+/// Restores a WoE encoder; throws util::JsonError.
+[[nodiscard]] std::unique_ptr<WoeEncoder> woe_from_json(const util::Json& json);
+
+/// Serializes a trained decision tree.
+[[nodiscard]] util::Json dt_to_json(const DecisionTree& model);
+[[nodiscard]] std::unique_ptr<DecisionTree> dt_from_json(const util::Json& json);
+
+/// Serializes a trained neural network.
+[[nodiscard]] util::Json nn_to_json(const NeuralNet& model);
+[[nodiscard]] std::unique_ptr<NeuralNet> nn_from_json(const util::Json& json);
+
+/// Serializes a trained Gaussian naive Bayes model.
+[[nodiscard]] util::Json nbg_to_json(const GaussianNaiveBayes& model);
+[[nodiscard]] std::unique_ptr<GaussianNaiveBayes> nbg_from_json(
+    const util::Json& json);
+
+/// Serializes a whole fitted pipeline: every preprocessing stage (FR, I,
+/// WoE, S, N, PCA) plus the classifier (XGB, DT, LSVM, NN, NB-G, DUM).
+/// This is the "deployable model file" an operator ships between sites
+/// or persists across restarts. `schema_columns` is the raw input width.
+/// Throws std::invalid_argument for unsupported stage/classifier types.
+[[nodiscard]] util::Json pipeline_to_json(const Pipeline& pipeline,
+                                          std::size_t schema_columns);
+
+/// Restores a pipeline written by pipeline_to_json.
+[[nodiscard]] Pipeline pipeline_from_json(const util::Json& json);
+
+}  // namespace scrubber::ml

@@ -1,0 +1,187 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+
+namespace scrubber::ml {
+namespace {
+
+/// Converts two class log-scores to P(y=1) via a stable softmax.
+[[nodiscard]] double softmax_positive(double log0, double log1) noexcept {
+  const double m = std::max(log0, log1);
+  const double e0 = std::exp(log0 - m);
+  const double e1 = std::exp(log1 - m);
+  return e1 / (e0 + e1);
+}
+
+[[nodiscard]] double cell(std::span<const double> row, std::size_t j) noexcept {
+  return j < row.size() && !is_missing(row[j]) ? row[j] : 0.0;
+}
+
+}  // namespace
+
+void GaussianNaiveBayes::fit(const Dataset& data) {
+  const std::size_t d = data.n_cols();
+  const std::size_t n = data.n_rows();
+  std::size_t counts[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 1.0);  // unit variance when untrained: finite scores
+  }
+  if (n == 0) return;
+  for (int c = 0; c < 2; ++c) var_[c].assign(d, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = data.label(i) == 1 ? 1 : 0;
+    ++counts[c];
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[c][j] += cell(row, j);
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t j = 0; j < d; ++j)
+      mean_[c][j] /= static_cast<double>(counts[c]);
+  }
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = data.label(i) == 1 ? 1 : 0;
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dv = cell(row, j) - mean_[c][j];
+      var_[c][j] += dv * dv;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      var_[c][j] /= static_cast<double>(counts[c]);
+      max_var = std::max(max_var, var_[c][j]);
+    }
+  }
+  // Variance smoothing: add a fraction of the largest variance (sklearn).
+  const double smoothing = var_smoothing_ * (max_var > 0.0 ? max_var : 1.0);
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t j = 0; j < d; ++j) var_[c][j] += smoothing;
+  }
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = counts[c] == 0
+                        ? -1e9
+                        : std::log(static_cast<double>(counts[c]) /
+                                   static_cast<double>(n));
+  }
+}
+
+double GaussianNaiveBayes::score(std::span<const double> row) const {
+  if (mean_[0].empty() && mean_[1].empty()) return 0.5;
+  double logp[2];
+  for (int c = 0; c < 2; ++c) {
+    double lp = log_prior_[c];
+    for (std::size_t j = 0; j < mean_[c].size(); ++j) {
+      const double v = cell(row, j);
+      const double dv = v - mean_[c][j];
+      lp += -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+            dv * dv / (2.0 * var_[c][j]);
+    }
+    logp[c] = lp;
+  }
+  return softmax_positive(logp[0], logp[1]);
+}
+
+std::string CountingNaiveBayes::name() const {
+  switch (kind_) {
+    case CountNbKind::kMultinomial: return "NB-M";
+    case CountNbKind::kComplement: return "NB-C";
+    case CountNbKind::kBernoulli: return "NB-B";
+  }
+  return "NB";
+}
+
+void CountingNaiveBayes::fit(const Dataset& data) {
+  const std::size_t d = data.n_cols();
+  const std::size_t n = data.n_rows();
+  std::size_t counts[2] = {0, 0};
+  std::vector<double> feature_sum[2];
+  for (int c = 0; c < 2; ++c) {
+    feature_sum[c].assign(d, 0.0);
+    log_prob_[c].assign(d, 0.0);
+    log_neg_[c].assign(d, 0.0);
+  }
+  if (n == 0) return;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = data.label(i) == 1 ? 1 : 0;
+    ++counts[c];
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = cell(row, j);
+      if (kind_ == CountNbKind::kBernoulli) {
+        feature_sum[c][j] += v > 0.0 ? 1.0 : 0.0;
+      } else {
+        feature_sum[c][j] += std::max(v, 0.0);  // counts must be non-negative
+      }
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = counts[c] == 0
+                        ? -1e9
+                        : std::log(static_cast<double>(counts[c]) /
+                                   static_cast<double>(n));
+  }
+
+  switch (kind_) {
+    case CountNbKind::kMultinomial: {
+      for (int c = 0; c < 2; ++c) {
+        double total = 0.0;
+        for (std::size_t j = 0; j < d; ++j) total += feature_sum[c][j];
+        const double denom = total + alpha_ * static_cast<double>(d);
+        for (std::size_t j = 0; j < d; ++j)
+          log_prob_[c][j] = std::log((feature_sum[c][j] + alpha_) / denom);
+      }
+      break;
+    }
+    case CountNbKind::kComplement: {
+      // Complement NB: class weights from the counts of all *other* classes.
+      for (int c = 0; c < 2; ++c) {
+        const int other = 1 - c;
+        double total = 0.0;
+        for (std::size_t j = 0; j < d; ++j) total += feature_sum[other][j];
+        const double denom = total + alpha_ * static_cast<double>(d);
+        for (std::size_t j = 0; j < d; ++j) {
+          // Negated: a high complement likelihood argues *against* class c.
+          log_prob_[c][j] = -std::log((feature_sum[other][j] + alpha_) / denom);
+        }
+      }
+      break;
+    }
+    case CountNbKind::kBernoulli: {
+      for (int c = 0; c < 2; ++c) {
+        const double denom = static_cast<double>(counts[c]) + 2.0 * alpha_;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double p = (feature_sum[c][j] + alpha_) / denom;
+          log_prob_[c][j] = std::log(p);
+          log_neg_[c][j] = std::log(1.0 - p);
+        }
+      }
+      break;
+    }
+  }
+}
+
+double CountingNaiveBayes::score(std::span<const double> row) const {
+  if (log_prob_[0].empty() && log_prob_[1].empty()) return 0.5;
+  double logp[2];
+  for (int c = 0; c < 2; ++c) {
+    double lp = log_prior_[c];
+    for (std::size_t j = 0; j < log_prob_[c].size(); ++j) {
+      const double v = cell(row, j);
+      if (kind_ == CountNbKind::kBernoulli) {
+        lp += v > 0.0 ? log_prob_[c][j] : log_neg_[c][j];
+      } else {
+        lp += std::max(v, 0.0) * log_prob_[c][j];
+      }
+    }
+    logp[c] = lp;
+  }
+  return softmax_positive(logp[0], logp[1]);
+}
+
+}  // namespace scrubber::ml

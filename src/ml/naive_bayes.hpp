@@ -1,0 +1,82 @@
+#pragma once
+// Naive Bayes classifiers: Gaussian, multinomial, complement, and
+// Bernoulli variants — NB-G / NB-M / NB-C / NB-B of Tables 3-5.
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace scrubber::ml {
+
+/// Gaussian naive Bayes with variance smoothing (Table 4: var. smoothing).
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9) noexcept
+      : var_smoothing_(var_smoothing) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double score(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "NB-G"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<GaussianNaiveBayes>(*this);
+  }
+
+  /// Trained parameters (model_io).
+  struct Params {
+    double log_prior[2] = {0.0, 0.0};
+    std::vector<double> mean[2];
+    std::vector<double> var[2];
+  };
+  [[nodiscard]] Params trained_params() const {
+    Params p;
+    for (int c = 0; c < 2; ++c) {
+      p.log_prior[c] = log_prior_[c];
+      p.mean[c] = mean_[c];
+      p.var[c] = var_[c];
+    }
+    return p;
+  }
+
+  /// Rebuilds a trained model (model_io).
+  void restore(Params params) {
+    for (int c = 0; c < 2; ++c) {
+      log_prior_[c] = params.log_prior[c];
+      mean_[c] = std::move(params.mean[c]);
+      var_[c] = std::move(params.var[c]);
+    }
+  }
+
+ private:
+  double var_smoothing_;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+/// Flavor of count-based naive Bayes.
+enum class CountNbKind { kMultinomial, kComplement, kBernoulli };
+
+/// Multinomial / complement / Bernoulli naive Bayes with additive
+/// (Lidstone) smoothing. Expects non-negative features (the Figure 8
+/// pipeline normalizes to [0, 1] first); Bernoulli binarizes at > 0.
+class CountingNaiveBayes final : public Classifier {
+ public:
+  explicit CountingNaiveBayes(CountNbKind kind, double alpha = 1.0) noexcept
+      : kind_(kind), alpha_(alpha) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double score(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<CountingNaiveBayes>(*this);
+  }
+
+ private:
+  CountNbKind kind_;
+  double alpha_;
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> log_prob_[2];   // per-feature log likelihood weights
+  std::vector<double> log_neg_[2];    // Bernoulli: log(1 - p)
+};
+
+}  // namespace scrubber::ml

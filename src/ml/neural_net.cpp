@@ -1,0 +1,145 @@
+#include "ml/neural_net.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+[[nodiscard]] double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Adam state for one parameter vector.
+struct Adam {
+  std::vector<double> m, v;
+  double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  std::size_t t = 0;
+
+  explicit Adam(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step(std::vector<double>& params, const std::vector<double>& grad,
+            double lr) {
+    ++t;
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+      params[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+};
+
+}  // namespace
+
+void NeuralNet::fit(const Dataset& data) {
+  const std::size_t d = data.n_cols();
+  const std::size_t n = data.n_rows();
+  const std::size_t h = params_.hidden_units;
+  input_width_ = d;
+
+  util::Rng rng(params_.seed);
+  // He initialization for the ReLU layer.
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(d > 0 ? d : 1));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h > 0 ? h : 1));
+  w1_.assign(h * d, 0.0);
+  for (double& w : w1_) w = rng.normal(0.0, scale1);
+  b1_.assign(h, 0.0);
+  w2_.assign(h, 0.0);
+  for (double& w : w2_) w = rng.normal(0.0, scale2);
+  b2_ = 0.0;
+  if (n == 0) return;
+
+  Adam adam_w1(w1_.size()), adam_b1(b1_.size()), adam_w2(w2_.size()), adam_b2(1);
+  std::vector<double> g_w1(w1_.size()), g_b1(h), g_w2(h);
+  std::vector<double> b2_vec{0.0}, g_b2(1);
+  std::vector<double> hidden(h), act(h);
+  std::vector<bool> keep(h, true);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += params_.batch_size) {
+      const std::size_t end = std::min(n, start + params_.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      std::fill(g_w1.begin(), g_w1.end(), 0.0);
+      std::fill(g_b1.begin(), g_b1.end(), 0.0);
+      std::fill(g_w2.begin(), g_w2.end(), 0.0);
+      g_b2[0] = 0.0;
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = order[k];
+        const auto row = data.row(i);
+        const double y = data.label(i) == 1 ? 1.0 : 0.0;
+
+        // Inverted dropout mask on the hidden layer.
+        double keep_scale = 1.0;
+        if (params_.dropout > 0.0) {
+          for (std::size_t u = 0; u < h; ++u)
+            keep[u] = !rng.chance(params_.dropout);
+          keep_scale = 1.0 / (1.0 - params_.dropout);
+        }
+
+        // Forward.
+        for (std::size_t u = 0; u < h; ++u) {
+          double z = b1_[u];
+          const double* wrow = w1_.data() + u * d;
+          for (std::size_t j = 0; j < d; ++j) {
+            const double v = is_missing(row[j]) ? 0.0 : row[j];
+            z += wrow[j] * v;
+          }
+          hidden[u] = z;
+          double a = z > 0.0 ? z : 0.0;
+          if (params_.dropout > 0.0) a = keep[u] ? a * keep_scale : 0.0;
+          act[u] = a;
+        }
+        double out = b2_vec[0];
+        for (std::size_t u = 0; u < h; ++u) out += w2_[u] * act[u];
+        const double p = sigmoid(out);
+
+        // Backward (cross-entropy + sigmoid => delta = p - y).
+        const double delta = (p - y) * inv_batch;
+        g_b2[0] += delta;
+        for (std::size_t u = 0; u < h; ++u) {
+          g_w2[u] += delta * act[u];
+          double dh = delta * w2_[u];
+          if (params_.dropout > 0.0) dh = keep[u] ? dh * keep_scale : 0.0;
+          if (hidden[u] <= 0.0) dh = 0.0;  // ReLU gate
+          if (dh == 0.0) continue;
+          g_b1[u] += dh;
+          double* gw = g_w1.data() + u * d;
+          for (std::size_t j = 0; j < d; ++j) {
+            const double v = is_missing(row[j]) ? 0.0 : row[j];
+            gw[j] += dh * v;
+          }
+        }
+      }
+
+      adam_w1.step(w1_, g_w1, params_.learning_rate);
+      adam_b1.step(b1_, g_b1, params_.learning_rate);
+      adam_w2.step(w2_, g_w2, params_.learning_rate);
+      adam_b2.step(b2_vec, g_b2, params_.learning_rate);
+    }
+  }
+  b2_ = b2_vec[0];
+}
+
+double NeuralNet::score(std::span<const double> row) const {
+  const std::size_t h = w2_.size();
+  const std::size_t d = input_width_;
+  double out = b2_;
+  for (std::size_t u = 0; u < h; ++u) {
+    double z = b1_[u];
+    const double* wrow = w1_.data() + u * d;
+    for (std::size_t j = 0; j < d && j < row.size(); ++j) {
+      const double v = is_missing(row[j]) ? 0.0 : row[j];
+      z += wrow[j] * v;
+    }
+    if (z > 0.0) out += w2_[u] * z;
+  }
+  return sigmoid(out);
+}
+
+}  // namespace scrubber::ml

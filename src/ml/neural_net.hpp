@@ -1,0 +1,66 @@
+#pragma once
+// Single-hidden-layer multilayer perceptron trained with Adam on binary
+// cross-entropy — the NN model of Table 3, with the Table 4 grid
+// hyperparameters (# hidden neurons, dropout, learning rate). The Figure 8
+// pipeline runs PCA before this model, so input widths are modest.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace scrubber::ml {
+
+/// MLP hyperparameters (Table 4 grid; defaults = selected values).
+struct NeuralNetParams {
+  std::size_t hidden_units = 16;   ///< neurons in the hidden layer
+  double dropout = 0.0;            ///< hidden-layer dropout probability
+  double learning_rate = 2.5e-3;   ///< Adam step size
+  std::size_t epochs = 40;         ///< training epochs
+  std::size_t batch_size = 64;     ///< minibatch size
+  std::uint64_t seed = 11;         ///< init/shuffle/dropout seed
+};
+
+/// Feed-forward binary classifier: input -> ReLU hidden -> sigmoid output.
+class NeuralNet final : public Classifier {
+ public:
+  explicit NeuralNet(NeuralNetParams params = {}) noexcept : params_(params) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double score(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "NN"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<NeuralNet>(*this);
+  }
+
+  [[nodiscard]] const NeuralNetParams& params() const noexcept { return params_; }
+
+  /// Trained weights (model_io).
+  struct Weights {
+    std::size_t input_width = 0;
+    std::vector<double> w1, b1, w2;
+    double b2 = 0.0;
+  };
+  [[nodiscard]] Weights weights() const {
+    return Weights{input_width_, w1_, b1_, w2_, b2_};
+  }
+
+  /// Rebuilds a trained network (model_io).
+  void restore(Weights weights) {
+    input_width_ = weights.input_width;
+    w1_ = std::move(weights.w1);
+    b1_ = std::move(weights.b1);
+    w2_ = std::move(weights.w2);
+    b2_ = weights.b2;
+  }
+
+ private:
+  NeuralNetParams params_;
+  std::size_t input_width_ = 0;
+  std::vector<double> w1_;  // hidden x input
+  std::vector<double> b1_;  // hidden
+  std::vector<double> w2_;  // hidden
+  double b2_ = 0.0;
+};
+
+}  // namespace scrubber::ml

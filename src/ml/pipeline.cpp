@@ -1,0 +1,205 @@
+#include "ml/pipeline.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "ml/decision_tree.hpp"
+#include "ml/dummy.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/neural_net.hpp"
+#include "ml/pca.hpp"
+#include "ml/preprocess.hpp"
+#include "ml/woe.hpp"
+
+namespace scrubber::ml {
+
+Dataset Transformer::apply_to_dataset(const Dataset& data) const {
+  const std::size_t in_width = data.n_cols();
+  const std::size_t out_width = output_width(in_width);
+  if (out_width == in_width) {
+    Dataset out = data;
+    for (std::size_t i = 0; i < out.n_rows(); ++i) apply(out.row(i));
+    return out;
+  }
+  std::vector<ColumnInfo> columns(out_width);
+  for (std::size_t j = 0; j < out_width; ++j) {
+    columns[j] = ColumnInfo{name() + std::to_string(j), ColumnKind::kNumeric};
+  }
+  Dataset out(std::move(columns));
+  std::vector<double> buffer(out_width);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    transform(data.row(i), buffer);
+    out.add_row(buffer, data.label(i));
+  }
+  return out;
+}
+
+void Pipeline::fit(const Dataset& data) {
+  if (!classifier_) throw std::logic_error("pipeline has no classifier");
+  Dataset work = data;
+  for (auto& stage : stages_) {
+    work = stage->fit_transform(work);
+  }
+  classifier_->fit(work);
+}
+
+std::vector<double> Pipeline::transform(std::span<const double> row) const {
+  std::vector<double> current(row.begin(), row.end());
+  std::vector<double> next;
+  for (const auto& stage : stages_) {
+    const std::size_t out_width = stage->output_width(current.size());
+    if (out_width == current.size()) {
+      stage->apply(current);
+    } else {
+      next.assign(out_width, 0.0);
+      stage->transform(current, next);
+      current.swap(next);
+    }
+  }
+  return current;
+}
+
+double Pipeline::score(std::span<const double> row) const {
+  if (!classifier_) throw std::logic_error("pipeline has no classifier");
+  const std::vector<double> features = transform(row);
+  return classifier_->score(features);
+}
+
+std::vector<int> Pipeline::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.n_rows());
+  for (std::size_t i = 0; i < data.n_rows(); ++i)
+    out.push_back(predict(data.row(i)));
+  return out;
+}
+
+Dataset Pipeline::transform_dataset(const Dataset& data) const {
+  Dataset work = data;
+  for (const auto& stage : stages_) work = stage->apply_to_dataset(work);
+  return work;
+}
+
+Transformer* Pipeline::find_stage(std::string_view name) {
+  for (auto& stage : stages_) {
+    if (stage->name() == name) return stage.get();
+  }
+  return nullptr;
+}
+
+const Transformer* Pipeline::find_stage(std::string_view name) const {
+  for (const auto& stage : stages_) {
+    if (stage->name() == name) return stage.get();
+  }
+  return nullptr;
+}
+
+Pipeline Pipeline::clone() const {
+  Pipeline out;
+  for (const auto& stage : stages_) out.add(stage->clone());
+  if (classifier_) out.set_classifier(classifier_->clone());
+  return out;
+}
+
+std::string Pipeline::describe() const {
+  std::string out;
+  for (const auto& stage : stages_) {
+    out += stage->name();
+    out += "->";
+  }
+  out += "C(";
+  out += classifier_ ? classifier_->name() : "none";
+  out += ")";
+  return out;
+}
+
+std::string_view model_kind_name(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kXgb: return "XGB";
+    case ModelKind::kDecisionTree: return "DT";
+    case ModelKind::kNeuralNet: return "NN";
+    case ModelKind::kLinearSvm: return "LSVM";
+    case ModelKind::kNaiveBayesGaussian: return "NB-G";
+    case ModelKind::kNaiveBayesMultinomial: return "NB-M";
+    case ModelKind::kNaiveBayesComplement: return "NB-C";
+    case ModelKind::kNaiveBayesBernoulli: return "NB-B";
+    case ModelKind::kDummy: return "DUM";
+  }
+  return "?";
+}
+
+Pipeline make_model_pipeline(ModelKind kind, std::size_t pca_components) {
+  Pipeline p;
+  if (kind == ModelKind::kDummy) {
+    p.set_classifier(std::make_unique<DummyClassifier>());
+    return p;
+  }
+  p.add(std::make_unique<FeatureReducer>());
+  p.add(std::make_unique<Imputer>(-1.0));
+  p.add(std::make_unique<WoeEncoder>());
+  switch (kind) {
+    case ModelKind::kXgb:
+      p.set_classifier(std::make_unique<GradientBoostedTrees>());
+      break;
+    case ModelKind::kDecisionTree: {
+      DecisionTreeParams params;
+      params.max_depth = 24;
+      params.min_samples_leaf = 1;
+      params.min_samples_split = 2;
+      params.min_impurity_decrease = 1e-5;
+      p.set_classifier(std::make_unique<DecisionTree>(params));
+      break;
+    }
+    case ModelKind::kNeuralNet:
+      p.add(std::make_unique<Standardizer>());
+      p.add(std::make_unique<Pca>(pca_components));
+      p.add(std::make_unique<MinMaxNormalizer>());
+      p.set_classifier(std::make_unique<NeuralNet>());
+      break;
+    case ModelKind::kLinearSvm:
+      p.add(std::make_unique<Standardizer>());
+      p.add(std::make_unique<MinMaxNormalizer>());
+      p.set_classifier(std::make_unique<LinearSvm>());
+      break;
+    case ModelKind::kNaiveBayesGaussian:
+      p.add(std::make_unique<MinMaxNormalizer>());
+      p.set_classifier(std::make_unique<GaussianNaiveBayes>(1e-9));
+      break;
+    case ModelKind::kNaiveBayesMultinomial:
+      p.add(std::make_unique<MinMaxNormalizer>());
+      p.set_classifier(
+          std::make_unique<CountingNaiveBayes>(CountNbKind::kMultinomial));
+      break;
+    case ModelKind::kNaiveBayesComplement:
+      p.add(std::make_unique<MinMaxNormalizer>());
+      p.set_classifier(
+          std::make_unique<CountingNaiveBayes>(CountNbKind::kComplement));
+      break;
+    case ModelKind::kNaiveBayesBernoulli:
+      p.add(std::make_unique<Standardizer>());
+      p.set_classifier(
+          std::make_unique<CountingNaiveBayes>(CountNbKind::kBernoulli));
+      break;
+    case ModelKind::kDummy:
+      break;  // handled above
+  }
+  return p;
+}
+
+std::span<const ModelKind> all_model_kinds() noexcept {
+  static constexpr std::array<ModelKind, 9> kAll{
+      ModelKind::kXgb,
+      ModelKind::kNeuralNet,
+      ModelKind::kLinearSvm,
+      ModelKind::kNaiveBayesGaussian,
+      ModelKind::kDecisionTree,
+      ModelKind::kNaiveBayesComplement,
+      ModelKind::kNaiveBayesMultinomial,
+      ModelKind::kNaiveBayesBernoulli,
+      ModelKind::kDummy,
+  };
+  return kAll;
+}
+
+}  // namespace scrubber::ml

@@ -1,0 +1,107 @@
+#include "ml/preprocess.hpp"
+
+#include <cmath>
+
+namespace scrubber::ml {
+
+void Standardizer::fit(const Dataset& data) {
+  const std::size_t cols = data.n_cols();
+  mean_.assign(cols, 0.0);
+  std_.assign(cols, 1.0);
+  if (data.n_rows() == 0) return;
+  std::vector<std::size_t> counts(cols, 0);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (is_missing(row[j])) continue;
+      mean_[j] += row[j];
+      ++counts[j];
+    }
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (counts[j] > 0) mean_[j] /= static_cast<double>(counts[j]);
+  }
+  std::vector<double> ss(cols, 0.0);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (is_missing(row[j])) continue;
+      const double d = row[j] - mean_[j];
+      ss[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double var =
+        counts[j] > 1 ? ss[j] / static_cast<double>(counts[j]) : 0.0;
+    std_[j] = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
+}
+
+void Standardizer::apply(std::span<double> row) const {
+  for (std::size_t j = 0; j < row.size() && j < mean_.size(); ++j) {
+    if (!is_missing(row[j])) row[j] = (row[j] - mean_[j]) / std_[j];
+  }
+}
+
+void MinMaxNormalizer::fit(const Dataset& data) {
+  const std::size_t cols = data.n_cols();
+  min_.assign(cols, 0.0);
+  range_.assign(cols, 1.0);
+  if (data.n_rows() == 0) return;
+  std::vector<double> max(cols, 0.0);
+  std::vector<bool> seen(cols, false);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (is_missing(row[j])) continue;
+      if (!seen[j]) {
+        min_[j] = row[j];
+        max[j] = row[j];
+        seen[j] = true;
+      } else {
+        min_[j] = std::min(min_[j], row[j]);
+        max[j] = std::max(max[j], row[j]);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double r = max[j] - min_[j];
+    range_[j] = r > 0.0 ? r : 1.0;
+  }
+}
+
+void MinMaxNormalizer::apply(std::span<double> row) const {
+  for (std::size_t j = 0; j < row.size() && j < min_.size(); ++j) {
+    if (!is_missing(row[j])) row[j] = (row[j] - min_[j]) / range_[j];
+  }
+}
+
+void FeatureReducer::fit(const Dataset& data) {
+  dropped_.clear();
+  if (data.n_rows() == 0) return;
+  for (std::size_t j = 0; j < data.n_cols(); ++j) {
+    bool constant = true;
+    double first = kMissing;
+    bool have_first = false;
+    for (std::size_t i = 0; i < data.n_rows(); ++i) {
+      const double v = data.at(i, j);
+      if (is_missing(v)) continue;
+      if (!have_first) {
+        first = v;
+        have_first = true;
+      } else if (v != first) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) dropped_.push_back(j);
+  }
+}
+
+void FeatureReducer::apply(std::span<double> row) const {
+  for (const std::size_t j : dropped_) {
+    if (j < row.size()) row[j] = 0.0;
+  }
+}
+
+}  // namespace scrubber::ml

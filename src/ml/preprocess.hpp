@@ -1,0 +1,110 @@
+#pragma once
+// Preprocessing stages of the Figure 8 pipelines:
+//   FR  — feature reduction (drop constant / listed columns up front)
+//   I   — imputer, replaces missing values with a constant (-1)
+//   S   — standardize to zero mean / unit variance
+//   N   — min-max normalize to [0, 1]
+// (WoE and PCA live in woe.hpp / pca.hpp.)
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace scrubber::ml {
+
+/// Replaces missing values (NaN) with a fixed fill value (paper: -1).
+class Imputer final : public Transformer {
+ public:
+  explicit Imputer(double fill_value = -1.0) noexcept : fill_(fill_value) {}
+
+  void fit(const Dataset&) override {}
+  void apply(std::span<double> row) const override {
+    for (double& v : row) {
+      if (is_missing(v)) v = fill_;
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "I"; }
+  [[nodiscard]] std::unique_ptr<Transformer> clone() const override {
+    return std::make_unique<Imputer>(*this);
+  }
+
+  [[nodiscard]] double fill_value() const noexcept { return fill_; }
+
+ private:
+  double fill_;
+};
+
+/// Standardizes every column to zero mean and unit variance.
+class Standardizer final : public Transformer {
+ public:
+  void fit(const Dataset& data) override;
+  void apply(std::span<double> row) const override;
+  [[nodiscard]] std::string name() const override { return "S"; }
+  [[nodiscard]] std::unique_ptr<Transformer> clone() const override {
+    return std::make_unique<Standardizer>(*this);
+  }
+
+  [[nodiscard]] const std::vector<double>& means() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddevs() const noexcept { return std_; }
+
+  /// Rebuilds a fitted standardizer (model_io).
+  void restore(std::vector<double> means, std::vector<double> stddevs) {
+    mean_ = std::move(means);
+    std_ = std::move(stddevs);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Min-max normalization of every column to [0, 1]; constant columns map to 0.
+class MinMaxNormalizer final : public Transformer {
+ public:
+  void fit(const Dataset& data) override;
+  void apply(std::span<double> row) const override;
+  [[nodiscard]] std::string name() const override { return "N"; }
+  [[nodiscard]] std::unique_ptr<Transformer> clone() const override {
+    return std::make_unique<MinMaxNormalizer>(*this);
+  }
+
+  [[nodiscard]] const std::vector<double>& mins() const noexcept { return min_; }
+  [[nodiscard]] const std::vector<double>& ranges() const noexcept { return range_; }
+
+  /// Rebuilds a fitted normalizer (model_io).
+  void restore(std::vector<double> mins, std::vector<double> ranges) {
+    min_ = std::move(mins);
+    range_ = std::move(ranges);
+  }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> range_;
+};
+
+/// Feature reduction: zeroes out columns identified as uninformative
+/// (constant across the training set) so downstream models ignore them.
+/// Keeping the width constant keeps pipelines simple; models that are
+/// sensitive to dead columns (LSVM/NN) run PCA afterwards anyway.
+class FeatureReducer final : public Transformer {
+ public:
+  void fit(const Dataset& data) override;
+  void apply(std::span<double> row) const override;
+  [[nodiscard]] std::string name() const override { return "FR"; }
+  [[nodiscard]] std::unique_ptr<Transformer> clone() const override {
+    return std::make_unique<FeatureReducer>(*this);
+  }
+
+  /// Indices of columns found constant during fit().
+  [[nodiscard]] const std::vector<std::size_t>& dropped() const noexcept {
+    return dropped_;
+  }
+
+  /// Rebuilds a fitted reducer (model_io).
+  void restore(std::vector<std::size_t> dropped) { dropped_ = std::move(dropped); }
+
+ private:
+  std::vector<std::size_t> dropped_;
+};
+
+}  // namespace scrubber::ml

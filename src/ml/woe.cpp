@@ -1,0 +1,144 @@
+#include "ml/woe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scrubber::ml {
+
+void WoeColumn::finalize() {
+  woe_.clear();
+  woe_.reserve(counts_.size());
+  // +1 smoothing on both conditional counts (footnote 1 of the paper).
+  for (const auto& [value, counts] : counts_) {
+    const double p1 = (counts.positive + 1.0) / (total_positive_ + 1.0);
+    const double p0 = (counts.negative + 1.0) / (total_negative_ + 1.0);
+    woe_.emplace(value, std::log(p1 / p0));
+  }
+}
+
+void WoeColumn::decay(double keep) {
+  total_positive_ *= keep;
+  total_negative_ *= keep;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    it->second.positive *= keep;
+    it->second.negative *= keep;
+    if (it->second.positive + it->second.negative < 0.01) {
+      it = counts_.erase(it);  // forgotten entirely
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::int64_t> WoeColumn::values_above(double threshold) const {
+  std::vector<std::int64_t> out;
+  for (const auto& [value, woe] : woe_) {
+    if (woe > threshold) out.push_back(value);
+  }
+  return out;
+}
+
+namespace {
+
+/// Fits WoE tables for the categorical columns of `data`, skipping rows
+/// whose index modulo `folds` equals `skip_fold` (no skipping when
+/// `folds` == 0).
+std::vector<std::optional<WoeColumn>> fit_tables(const Dataset& data,
+                                                 std::size_t folds,
+                                                 std::size_t skip_fold) {
+  std::vector<std::optional<WoeColumn>> columns(data.n_cols());
+  for (std::size_t j = 0; j < data.n_cols(); ++j) {
+    if (data.column(j).kind == ColumnKind::kCategorical) columns[j].emplace();
+  }
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    if (folds > 0 && i % folds == skip_fold) continue;
+    const auto row = data.row(i);
+    const int y = data.label(i);
+    for (std::size_t j = 0; j < data.n_cols(); ++j) {
+      if (!columns[j] || is_missing(row[j])) continue;
+      columns[j]->observe(static_cast<std::int64_t>(std::llround(row[j])), y);
+    }
+  }
+  for (auto& column : columns) {
+    if (column) column->finalize();
+  }
+  return columns;
+}
+
+}  // namespace
+
+void WoeEncoder::fit(const Dataset& data) {
+  columns_ = fit_tables(data, 0, 0);
+}
+
+void WoeEncoder::update(const Dataset& data, double keep) {
+  if (columns_.size() != data.n_cols())
+    throw std::invalid_argument("WoeEncoder::update: schema mismatch");
+  for (auto& column : columns_) {
+    if (column && keep < 1.0) column->decay(keep);
+  }
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    const int y = data.label(i);
+    for (std::size_t j = 0; j < data.n_cols(); ++j) {
+      if (!columns_[j] || is_missing(row[j])) continue;
+      columns_[j]->observe(static_cast<std::int64_t>(std::llround(row[j])), y);
+    }
+  }
+  for (auto& column : columns_) {
+    if (column) column->finalize();
+  }
+}
+
+Dataset WoeEncoder::fit_transform(const Dataset& data) {
+  if (cross_fit_folds_ <= 1 || data.n_rows() < 2 * cross_fit_folds_) {
+    fit(data);
+    return apply_to_dataset(data);
+  }
+  // Out-of-fold encoding: row i is encoded by tables fit without fold
+  // i % folds, so memorized per-row identifiers carry no target signal.
+  Dataset out = data;
+  for (std::size_t fold = 0; fold < cross_fit_folds_; ++fold) {
+    WoeEncoder fold_encoder(0);
+    fold_encoder.columns_ = fit_tables(data, cross_fit_folds_, fold);
+    for (std::size_t i = fold; i < data.n_rows(); i += cross_fit_folds_) {
+      fold_encoder.apply(out.row(i));
+    }
+  }
+  // Final tables over all rows (used by apply()/inference from here on).
+  fit(data);
+  return out;
+}
+
+void WoeEncoder::apply(std::span<double> row) const {
+  for (std::size_t j = 0; j < row.size() && j < columns_.size(); ++j) {
+    if (!columns_[j]) continue;
+    if (is_missing(row[j])) {
+      row[j] = 0.0;  // missing categorical: neutral evidence
+      continue;
+    }
+    row[j] = columns_[j]->encode(static_cast<std::int64_t>(std::llround(row[j])));
+  }
+}
+
+const WoeColumn& WoeEncoder::column(std::size_t index) const {
+  if (index >= columns_.size() || !columns_[index])
+    throw std::out_of_range("column is not WoE-encoded");
+  return *columns_[index];
+}
+
+WoeColumn& WoeEncoder::column(std::size_t index) {
+  if (index >= columns_.size() || !columns_[index])
+    throw std::out_of_range("column is not WoE-encoded");
+  return *columns_[index];
+}
+
+std::vector<std::size_t> WoeEncoder::encoded_columns() const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    if (columns_[j]) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace scrubber::ml

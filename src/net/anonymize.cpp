@@ -1,0 +1,43 @@
+#include "net/anonymize.hpp"
+
+#include "util/rng.hpp"
+
+namespace scrubber::net {
+
+Ipv4Address Anonymizer::anonymize(Ipv4Address ip) const noexcept {
+  if (mode_ == Mode::kPrefixPreserving) return prefix_preserving(ip);
+  const std::uint64_t h = util::mix64(ip.value() ^ salt_);
+  return Ipv4Address(static_cast<std::uint32_t>(h));
+}
+
+MemberId Anonymizer::anonymize(MemberId member) const noexcept {
+  const std::uint64_t h = util::mix64((std::uint64_t{member} << 32) ^ salt_ ^
+                                      0x3A3A3A3A3A3A3A3AULL);
+  return static_cast<MemberId>(h & 0xFFFFFFFF);
+}
+
+Ipv4Address Anonymizer::prefix_preserving(Ipv4Address ip) const noexcept {
+  // Simplified Crypto-PAn: bit i of the output flips based on a keyed
+  // function of bits 0..i-1 of the input. Two addresses sharing a k-bit
+  // prefix therefore share exactly a k-bit anonymized prefix.
+  const std::uint32_t value = ip.value();
+  std::uint32_t out = 0;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t prefix = i == 0 ? 0 : value >> (32 - i);
+    const std::uint64_t keyed =
+        util::mix64((std::uint64_t{prefix} << 6) ^ static_cast<std::uint64_t>(i) ^
+                    salt_);
+    const std::uint32_t original_bit = (value >> (31 - i)) & 1;
+    const std::uint32_t flip = static_cast<std::uint32_t>(keyed & 1);
+    out = (out << 1) | (original_bit ^ flip);
+  }
+  return Ipv4Address(out);
+}
+
+void Anonymizer::anonymize(FlowRecord& flow) const noexcept {
+  flow.src_ip = anonymize(flow.src_ip);
+  flow.dst_ip = anonymize(flow.dst_ip);
+  flow.src_member = anonymize(flow.src_member);
+}
+
+}  // namespace scrubber::net

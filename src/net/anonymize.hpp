@@ -1,0 +1,46 @@
+#pragma once
+// Privacy layer of §4.3: IP addresses and member MACs are hashed with a
+// secret salt immediately after capture, before storage or analysis.
+//
+// Two modes are provided: plain salted hashing (what the paper describes)
+// and prefix-preserving anonymization (a simplified Crypto-PAn: equal
+// prefixes map to equal prefixes), which keeps longest-prefix-match
+// semantics intact so blackhole labeling still works on anonymized data.
+
+#include <cstdint>
+
+#include "net/flow.hpp"
+
+namespace scrubber::net {
+
+/// Salted, deterministic anonymizer for flow records.
+class Anonymizer {
+ public:
+  enum class Mode {
+    kHash,              ///< full salted hash (paper's approach)
+    kPrefixPreserving,  ///< simplified Crypto-PAn (LPM survives)
+  };
+
+  explicit Anonymizer(std::uint64_t secret_salt, Mode mode = Mode::kHash)
+      : salt_(secret_salt), mode_(mode) {}
+
+  /// Anonymizes one address. Deterministic for a given salt; distinct
+  /// inputs map to distinct outputs with overwhelming probability.
+  [[nodiscard]] Ipv4Address anonymize(Ipv4Address ip) const noexcept;
+
+  /// Anonymizes a member identifier (source MAC surrogate).
+  [[nodiscard]] MemberId anonymize(MemberId member) const noexcept;
+
+  /// Anonymizes all sensitive fields of a flow record in place.
+  void anonymize(FlowRecord& flow) const noexcept;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+ private:
+  [[nodiscard]] Ipv4Address prefix_preserving(Ipv4Address ip) const noexcept;
+
+  std::uint64_t salt_;
+  Mode mode_;
+};
+
+}  // namespace scrubber::net

@@ -1,0 +1,66 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace scrubber::net {
+namespace {
+
+/// Parses an integer in [0, max] from the front of `text`, advancing it.
+std::optional<std::uint32_t> parse_uint(std::string_view& text,
+                                        std::uint32_t max) noexcept {
+  std::uint32_t value = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first || value > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - first));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto part = parse_uint(text, 255);
+    if (!part) return std::nullopt;
+    value = (value << 8) | *part;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto address = Ipv4Address::parse(text);
+    if (!address) return std::nullopt;
+    return Ipv4Prefix(*address, 32);
+  }
+  const auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::string_view rest = text.substr(slash + 1);
+  const auto length = parse_uint(rest, 32);
+  if (!length || !rest.empty()) return std::nullopt;
+  return Ipv4Prefix(*address, static_cast<std::uint8_t>(*length));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace scrubber::net

@@ -1,0 +1,109 @@
+#pragma once
+// IPv4 address and prefix value types.
+//
+// Blackholing at IXPs is announced for IPv4 prefixes (commonly /32 host
+// routes, RFC 7999); these types provide parsing, formatting, ordering,
+// and containment tests used by the BGP substrate and flow labeler.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scrubber::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Builds from four octets (a.b.c.d).
+  constexpr static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Dotted-quad string, e.g. "192.0.2.1".
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length), normalized so host bits are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Constructs a normalized prefix; lengths > 32 are clamped to 32.
+  constexpr Ipv4Prefix(Ipv4Address address, std::uint8_t length) noexcept
+      : length_(length > 32 ? 32 : length),
+        address_(Ipv4Address(address.value() & mask_for(length_))) {}
+
+  /// Parses "a.b.c.d/len"; a bare address parses as a /32.
+  static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  /// Host route (/32) for a single address.
+  constexpr static Ipv4Prefix host(Ipv4Address address) noexcept {
+    return Ipv4Prefix(address, 32);
+  }
+
+  [[nodiscard]] constexpr Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+
+  /// Network mask for this prefix length.
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return mask_for(length_);
+  }
+
+  /// True when `ip` lies inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Address ip) const noexcept {
+    return (ip.value() & mask()) == address_.value();
+  }
+
+  /// True when `other` is fully contained in (or equal to) this prefix.
+  [[nodiscard]] constexpr bool covers(const Ipv4Prefix& other) const noexcept {
+    return length_ <= other.length_ && contains(other.address_);
+  }
+
+  /// "a.b.c.d/len" string.
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const noexcept = default;
+
+ private:
+  constexpr static std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  }
+
+  std::uint8_t length_ = 0;
+  Ipv4Address address_{};
+};
+
+}  // namespace scrubber::net
+
+template <>
+struct std::hash<scrubber::net::Ipv4Address> {
+  std::size_t operator()(const scrubber::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<scrubber::net::Ipv4Prefix> {
+  std::size_t operator()(const scrubber::net::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.address().value()) << 8) | p.length());
+  }
+};

@@ -1,0 +1,92 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace scrubber::net {
+
+PacketSampler::PacketSampler(std::uint32_t rate, std::uint64_t seed)
+    : rate_(rate == 0 ? 1 : rate), state_(seed ^ 0x5A11'7E57ULL) {
+  roll_skip();
+}
+
+void PacketSampler::roll_skip() noexcept {
+  if (rate_ == 1) {
+    skip_ = 0;
+    return;
+  }
+  // Uniform skip in [0, 2*rate) yields a mean inter-sample gap of `rate`,
+  // the classic sFlow agent behavior.
+  skip_ = util::splitmix64(state_) % (2ULL * rate_);
+}
+
+bool PacketSampler::sample() noexcept {
+  ++seen_;
+  if (skip_ > 0) {
+    --skip_;
+    return false;
+  }
+  ++sampled_;
+  roll_skip();
+  return true;
+}
+
+void FlowCache::add(const PacketHeader& packet) {
+  FlowKey key;
+  key.minute = static_cast<std::uint32_t>(packet.timestamp_ms / 60000);
+  key.src_ip = packet.src_ip.value();
+  key.dst_ip = packet.dst_ip.value();
+  key.src_port = packet.src_port;
+  key.dst_port = packet.dst_port;
+  key.protocol = packet.protocol;
+  key.member = packet.ingress_member;
+
+  auto [it, inserted] = cache_.try_emplace(key);
+  if (inserted) it->second.order = next_order_++;
+  it->second.packets += 1;
+  it->second.bytes += packet.length;
+  it->second.tcp_flags |= packet.tcp_flags;
+}
+
+FlowRecord FlowCache::to_record(const FlowKey& key,
+                                const Counters& counters) const {
+  FlowRecord flow;
+  flow.minute = key.minute;
+  flow.src_ip = Ipv4Address(key.src_ip);
+  flow.dst_ip = Ipv4Address(key.dst_ip);
+  flow.src_port = key.src_port;
+  flow.dst_port = key.dst_port;
+  flow.protocol = key.protocol;
+  flow.tcp_flags = counters.tcp_flags;
+  flow.src_member = key.member;
+  // Scale sampled counters to population estimates.
+  flow.packets = static_cast<std::uint32_t>(counters.packets * sampling_rate_);
+  flow.bytes = counters.bytes * sampling_rate_;
+  return flow;
+}
+
+std::vector<FlowRecord> FlowCache::drain_before(std::uint32_t minute) {
+  std::vector<std::pair<std::uint64_t, FlowRecord>> drained;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.minute < minute) {
+      drained.emplace_back(it->second.order, to_record(it->first, it->second));
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<FlowRecord> out;
+  out.reserve(drained.size());
+  for (auto& [order, flow] : drained) out.push_back(flow);
+  return out;
+}
+
+std::vector<FlowRecord> FlowCache::drain_all() {
+  return drain_before(std::numeric_limits<std::uint32_t>::max());
+}
+
+}  // namespace scrubber::net

@@ -1,0 +1,127 @@
+#pragma once
+// Packet-level capture substrate: sampled packet headers and the
+// collector-side flow cache that aggregates them into FlowRecords.
+//
+// At a real IXP the monitoring fabric samples 1-in-N packets (sFlow) and
+// a collector aggregates the sampled headers into per-minute flow records
+// — the exact input format of the scrubber pipeline. This module models
+// that path: PacketHeader (the L2-4 header subset sFlow exports),
+// PacketSampler (deterministic 1-in-N with scaling), and FlowCache
+// (keyed aggregation with minute binning).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace scrubber::net {
+
+/// The L2-4 header subset carried in a sampled-packet record.
+struct PacketHeader {
+  std::uint64_t timestamp_ms = 0;  ///< capture timestamp (milliseconds)
+  Ipv4Address src_ip{};
+  Ipv4Address dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint16_t length = 0;        ///< IP length in bytes
+  MemberId ingress_member = 0;     ///< IXP member port of arrival
+
+  friend bool operator==(const PacketHeader&, const PacketHeader&) = default;
+};
+
+/// Key identifying one flow within a minute bin.
+struct FlowKey {
+  std::uint32_t minute = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+  MemberId member = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = k.minute;
+    h = h * 0x9E3779B97F4A7C15ULL + k.src_ip;
+    h = h * 0x9E3779B97F4A7C15ULL + k.dst_ip;
+    h = h * 0x9E3779B97F4A7C15ULL +
+        ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
+         k.protocol);
+    h = h * 0x9E3779B97F4A7C15ULL + k.member;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Deterministic 1-in-N packet sampler. Real sFlow agents sample with a
+/// pseudo-random skip so bursts are not aliased; this sampler draws the
+/// skip from a seeded generator, making traces reproducible.
+class PacketSampler {
+ public:
+  /// `rate` = N of 1-in-N sampling (1 = keep everything).
+  explicit PacketSampler(std::uint32_t rate, std::uint64_t seed = 1);
+
+  /// Returns true when this packet is sampled.
+  [[nodiscard]] bool sample() noexcept;
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return rate_; }
+
+  /// Packets seen / packets sampled so far.
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+
+ private:
+  void roll_skip() noexcept;
+
+  std::uint32_t rate_;
+  std::uint64_t state_;
+  std::uint64_t skip_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+/// Collector-side aggregation of sampled packet headers into per-minute
+/// FlowRecords. Counters are scaled by the sampling rate (standard sFlow
+/// estimation: each sampled packet represents `rate` packets).
+class FlowCache {
+ public:
+  /// `sampling_rate` is the 1-in-N rate used for scaling estimates.
+  explicit FlowCache(std::uint32_t sampling_rate = 1)
+      : sampling_rate_(sampling_rate) {}
+
+  /// Adds one sampled packet header.
+  void add(const PacketHeader& packet);
+
+  /// Flows of all minute bins strictly older than `minute`, removed from
+  /// the cache (call as time advances; sorted by minute then key order
+  /// is unspecified but deterministic for a given insertion order).
+  [[nodiscard]] std::vector<FlowRecord> drain_before(std::uint32_t minute);
+
+  /// Flushes everything remaining.
+  [[nodiscard]] std::vector<FlowRecord> drain_all();
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return cache_.size(); }
+
+ private:
+  struct Counters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint8_t tcp_flags = 0;
+    std::uint64_t order = 0;  // insertion order for deterministic drains
+  };
+
+  [[nodiscard]] FlowRecord to_record(const FlowKey& key,
+                                     const Counters& counters) const;
+
+  std::uint32_t sampling_rate_;
+  std::uint64_t next_order_ = 0;
+  std::unordered_map<FlowKey, Counters, FlowKeyHash> cache_;
+};
+
+}  // namespace scrubber::net

@@ -1,0 +1,63 @@
+#pragma once
+// sFlow version 5 datagram codec (subset).
+//
+// The paper's capture pipeline consumes sampled packet headers exported by
+// the IXP's switches as sFlow v5. This module implements the on-the-wire
+// format for the parts the scrubber needs: the datagram header, flow
+// sample records, and the "raw packet header" flow record carrying an
+// Ethernet + IPv4 + TCP/UDP header stub. Counter samples and other record
+// types are skipped structurally (length-prefixed), as a real collector
+// does.
+//
+// Reference: sFlow.org, "sFlow Version 5" (July 2004).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace scrubber::net {
+
+/// Error thrown on malformed sFlow bytes.
+class SflowDecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One flow sample: a sampled packet header plus sampling metadata.
+struct SflowFlowSample {
+  std::uint32_t sequence = 0;
+  std::uint32_t sampling_rate = 1;
+  std::uint32_t sample_pool = 0;   ///< packets seen by the sampler
+  std::uint32_t input_port = 0;    ///< ingress interface (member port)
+  std::uint32_t output_port = 0;
+  PacketHeader packet;             ///< decoded raw packet header
+
+  friend bool operator==(const SflowFlowSample&, const SflowFlowSample&) = default;
+};
+
+/// An sFlow v5 datagram: agent identity plus flow samples.
+struct SflowDatagram {
+  Ipv4Address agent;               ///< exporting switch
+  std::uint32_t sub_agent_id = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t uptime_ms = 0;     ///< sysUptime at export — maps to timestamps
+  std::vector<SflowFlowSample> samples;
+
+  /// Encodes the datagram as sFlow v5 wire bytes (XDR, big endian).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes wire bytes; unknown record types are skipped. Throws
+  /// SflowDecodeError on malformed input.
+  [[nodiscard]] static SflowDatagram decode(const std::vector<std::uint8_t>& wire);
+
+  friend bool operator==(const SflowDatagram&, const SflowDatagram&) = default;
+};
+
+/// Feeds every flow sample of a datagram into a FlowCache, stamping packet
+/// timestamps from the datagram uptime (collector behavior).
+void ingest_datagram(const SflowDatagram& datagram, FlowCache& cache);
+
+}  // namespace scrubber::net

@@ -1,0 +1,381 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace scrubber::util {
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                    what);
+  }
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid hex digit in \\u escape");
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+            // not needed for our ASCII-centric rule files).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!any) fail("invalid number");
+    double value = 0.0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) fail("unparsable number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; serialize as null.
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  // %.17g preserves every double bit-exactly across a parse round trip
+  // (required for model checkpoints).
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  throw JsonError("JSON value is not a boolean");
+}
+
+double Json::as_number() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  throw JsonError("JSON value is not a number");
+}
+
+std::int64_t Json::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  throw JsonError("JSON value is not a string");
+}
+
+const JsonArray& Json::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  throw JsonError("JSON value is not an array");
+}
+
+const JsonObject& Json::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  throw JsonError("JSON value is not an object");
+}
+
+JsonArray& Json::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  throw JsonError("JSON value is not an array");
+}
+
+JsonObject& Json::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  throw JsonError("JSON value is not an object");
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  const auto* obj = std::get_if<JsonObject>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) throw JsonError("missing JSON key: " + std::string(key));
+  return *found;
+}
+
+void Json::set(std::string key, Json value) {
+  if (is_null()) value_ = JsonObject{};
+  auto& obj = as_object();
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const auto* a = std::get_if<JsonArray>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i) out.push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      (*a)[i].dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else if (const auto* o = std::get_if<JsonObject>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : *o) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_newline_indent(out, indent, depth + 1);
+      append_escaped(out, k);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      v.dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace scrubber::util

@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace scrubber::util {
+
+std::size_t Rng::weighted(const std::vector<double>& weights) noexcept {
+  if (weights.empty()) return 0;
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return below(weights.size());
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (pick < w) return i;
+    pick -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;
+  }
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    shuffle(all);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  while (chosen.size() < k) chosen.insert(below(n));
+  std::vector<std::size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace scrubber::util

@@ -1,0 +1,202 @@
+#pragma once
+// Deterministic, seedable random number generation for simulations.
+//
+// All stochastic components of the repository (traffic generation, ML
+// initialization, sampling) draw from Rng so that every experiment is
+// reproducible from a single 64-bit seed. The generator is xoshiro256**,
+// which is small, fast, and passes BigCrush; splitmix64 is used to expand
+// the seed into the initial state and to derive independent child streams.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace scrubber::util {
+
+/// splitmix64 step: returns the next value of the sequence and advances state.
+/// Used for seeding and for cheap stateless hashing of identifiers.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value; handy for salted hashing of IPs/MACs.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+/// xoshiro256** pseudo random generator with convenience distributions.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, though the built-in helpers below avoid
+/// the libstdc++ distribution objects for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x5eedc0ffee123456ULL) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from a seed.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  /// Derives an independent child generator; children with distinct tags
+  /// produce decorrelated streams, letting subsystems share one master seed.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept {
+    std::uint64_t s = state_[0] ^ mix64(tag ^ 0xa5a5a5a5deadbeefULL);
+    return Rng(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (deterministic, no cache).
+  [[nodiscard]] double normal() noexcept {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (lambda > 0).
+  [[nodiscard]] double exponential(double rate) noexcept {
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Pareto (heavy-tailed) sample with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept {
+    return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+  /// Poisson sample (Knuth for small lambda, normal approximation otherwise).
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept {
+    if (lambda <= 0.0) return 0;
+    if (lambda < 30.0) {
+      const double limit = std::exp(-lambda);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > limit);
+      return k - 1;
+    }
+    const double sample = normal(lambda, std::sqrt(lambda));
+    return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+  }
+
+  /// Zipf-like rank sample over [0, n): returns small ranks much more often.
+  /// skew in (0, ~2]; implemented via inverse-power transform (approximate
+  /// Zipf, adequate for traffic popularity modeling).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double skew) noexcept {
+    if (n <= 1) return 0;
+    const double u = uniform();
+    // Inverse CDF of a bounded power-law on [1, n+1).
+    const double exponent = 1.0 - skew;
+    double value;
+    if (std::abs(exponent) < 1e-9) {
+      value = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+      const double hi = std::pow(static_cast<double>(n) + 1.0, exponent);
+      value = std::pow(1.0 + u * (hi - 1.0), 1.0 / exponent);
+    }
+    auto rank = static_cast<std::size_t>(value) - 1;
+    return rank >= n ? n - 1 : rank;
+  }
+
+  /// Picks an index according to a discrete weight vector (weights >= 0,
+  /// not necessarily normalized). Returns weights.size() - 1 on rounding.
+  [[nodiscard]] std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = below(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (reservoir when k << n).
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace scrubber::util

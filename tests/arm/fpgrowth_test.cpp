@@ -1,0 +1,180 @@
+#include "arm/fpgrowth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace scrubber::arm {
+namespace {
+
+Item item(int v) { return Item(Attribute::kDstPort, static_cast<std::uint32_t>(v)); }
+
+Transaction tx(std::initializer_list<int> values) {
+  Transaction t;
+  for (const int v : values) t.push_back(item(v));
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+/// Brute-force support count of an itemset in transactions.
+std::uint64_t count_support(const std::vector<Transaction>& transactions,
+                            const std::vector<Item>& itemset) {
+  std::uint64_t count = 0;
+  for (const auto& t : transactions) {
+    if (std::includes(t.begin(), t.end(), itemset.begin(), itemset.end())) ++count;
+  }
+  return count;
+}
+
+TEST(FpGrowth, ClassicExample) {
+  // Textbook dataset: {1,2}, {2,3}, {1,2,3}, {1,2}.
+  const std::vector<Transaction> transactions{tx({1, 2}), tx({2, 3}),
+                                              tx({1, 2, 3}), tx({1, 2})};
+  FpGrowthParams params;
+  params.min_support = 0.5;  // count >= 2
+  const auto itemsets = mine_frequent_itemsets(transactions, params);
+
+  std::map<std::vector<Item>, std::uint64_t> by_set;
+  for (const auto& fi : itemsets) by_set[fi.items] = fi.count;
+
+  EXPECT_EQ(by_set[{item(1)}], 3u);
+  EXPECT_EQ(by_set[{item(2)}], 4u);
+  EXPECT_EQ(by_set[{item(3)}], 2u);
+  EXPECT_EQ(by_set[(tx({1, 2}))], 3u);
+  EXPECT_EQ(by_set[(tx({2, 3}))], 2u);
+  // {1,3} has support 1 < 2 and must be absent.
+  EXPECT_EQ(by_set.count(tx({1, 3})), 0u);
+  // {1,2,3} has support 1 and must be absent.
+  EXPECT_EQ(by_set.count(tx({1, 2, 3})), 0u);
+}
+
+TEST(FpGrowth, CountsMatchBruteForce) {
+  // Property: every mined itemset's count equals a brute-force recount,
+  // and all itemsets meet the support threshold.
+  util::Rng rng(5);
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 400; ++i) {
+    Transaction t;
+    for (int v = 0; v < 8; ++v) {
+      if (rng.chance(0.3)) t.push_back(item(v));
+    }
+    std::sort(t.begin(), t.end());
+    if (!t.empty()) transactions.push_back(std::move(t));
+  }
+  FpGrowthParams params;
+  params.min_support = 0.05;
+  const auto itemsets = mine_frequent_itemsets(transactions, params);
+  ASSERT_FALSE(itemsets.empty());
+  const auto threshold = static_cast<std::uint64_t>(
+      params.min_support * static_cast<double>(transactions.size()));
+  for (const auto& fi : itemsets) {
+    EXPECT_EQ(fi.count, count_support(transactions, fi.items));
+    EXPECT_GE(fi.count, threshold);
+  }
+  // No duplicates.
+  std::set<std::vector<Item>> unique;
+  for (const auto& fi : itemsets) unique.insert(fi.items);
+  EXPECT_EQ(unique.size(), itemsets.size());
+}
+
+TEST(FpGrowth, FindsAllFrequentItemsetsExhaustively) {
+  // Compare against exhaustive enumeration over a small item alphabet.
+  util::Rng rng(7);
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 200; ++i) {
+    Transaction t;
+    for (int v = 0; v < 5; ++v) {
+      if (rng.chance(0.4)) t.push_back(item(v));
+    }
+    std::sort(t.begin(), t.end());
+    transactions.push_back(std::move(t));
+  }
+  FpGrowthParams params;
+  params.min_support = 0.1;
+  const auto itemsets = mine_frequent_itemsets(transactions, params);
+  std::set<std::vector<Item>> mined;
+  for (const auto& fi : itemsets) mined.insert(fi.items);
+
+  const auto threshold = static_cast<std::uint64_t>(
+      params.min_support * static_cast<double>(transactions.size()));
+  for (int mask = 1; mask < 32; ++mask) {
+    std::vector<Item> candidate;
+    for (int v = 0; v < 5; ++v) {
+      if (mask & (1 << v)) candidate.push_back(item(v));
+    }
+    std::sort(candidate.begin(), candidate.end());
+    const bool frequent = count_support(transactions, candidate) >= threshold;
+    EXPECT_EQ(mined.count(candidate) > 0, frequent)
+        << "itemset mask " << mask;
+  }
+}
+
+TEST(FpGrowth, MaxItemsetSizeCaps) {
+  std::vector<Transaction> transactions(10, tx({1, 2, 3, 4}));
+  FpGrowthParams params;
+  params.min_support = 0.5;
+  params.max_itemset_size = 2;
+  const auto itemsets = mine_frequent_itemsets(transactions, params);
+  for (const auto& fi : itemsets) EXPECT_LE(fi.items.size(), 2u);
+}
+
+TEST(FpGrowth, EmptyInput) {
+  FpGrowthParams params;
+  EXPECT_TRUE(mine_frequent_itemsets({}, params).empty());
+  EXPECT_TRUE(mine_rules({}, params).empty());
+}
+
+TEST(RuleGeneration, ConfidenceAndSupport) {
+  // 10 transactions: 8 x {1,2}, 2 x {1}. Rule 1->2: conf 0.8, support(A)=1.
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 8; ++i) transactions.push_back(tx({1, 2}));
+  for (int i = 0; i < 2; ++i) transactions.push_back(tx({1}));
+  FpGrowthParams params;
+  params.min_support = 0.1;
+  params.min_confidence = 0.75;
+  const auto rules = mine_rules(transactions, params);
+  const MinedRule* found = nullptr;
+  for (const auto& rule : rules) {
+    if (rule.antecedent == std::vector<Item>{item(1)} && rule.consequent == item(2))
+      found = &rule;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_NEAR(found->confidence, 0.8, 1e-12);
+  EXPECT_NEAR(found->support, 1.0, 1e-12);  // antecedent {1} in all 10
+}
+
+TEST(RuleGeneration, MinConfidenceFilters) {
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 6; ++i) transactions.push_back(tx({1, 2}));
+  for (int i = 0; i < 4; ++i) transactions.push_back(tx({1}));
+  FpGrowthParams params;
+  params.min_support = 0.1;
+  params.min_confidence = 0.7;  // conf(1->2) = 0.6 < 0.7
+  const auto rules = mine_rules(transactions, params);
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.7);
+  }
+}
+
+TEST(RuleGeneration, ReverseRuleHasOwnMetrics) {
+  // conf(2->1) = 1.0 even when conf(1->2) = 0.6.
+  std::vector<Transaction> transactions;
+  for (int i = 0; i < 6; ++i) transactions.push_back(tx({1, 2}));
+  for (int i = 0; i < 4; ++i) transactions.push_back(tx({1}));
+  FpGrowthParams params;
+  params.min_support = 0.1;
+  params.min_confidence = 0.9;
+  const auto rules = mine_rules(transactions, params);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, std::vector<Item>{item(2)});
+  EXPECT_EQ(rules[0].consequent, item(1));
+  EXPECT_NEAR(rules[0].confidence, 1.0, 1e-12);
+  EXPECT_NEAR(rules[0].support, 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace scrubber::arm

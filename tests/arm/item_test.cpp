@@ -1,0 +1,122 @@
+#include "arm/item.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace scrubber::arm {
+namespace {
+
+net::FlowRecord ntp_flow() {
+  net::FlowRecord f;
+  f.protocol = 17;
+  f.src_port = 123;
+  f.dst_port = 44321;  // ephemeral
+  f.packets = 2;
+  f.bytes = 936;  // mean 468 -> bucket (400,500]
+  return f;
+}
+
+TEST(Item, PackingRoundTrip) {
+  const Item item(Attribute::kSrcPort, 123);
+  EXPECT_EQ(item.attribute(), Attribute::kSrcPort);
+  EXPECT_EQ(item.value(), 123u);
+  const Item copy(Attribute::kSrcPort, 123);
+  EXPECT_EQ(item, copy);
+  EXPECT_NE(item, Item(Attribute::kDstPort, 123));
+  EXPECT_NE(item, Item(Attribute::kSrcPort, 124));
+}
+
+TEST(Item, ToStringForms) {
+  EXPECT_EQ(Item(Attribute::kProtocol, 17).to_string(), "protocol=17");
+  EXPECT_EQ(Item(Attribute::kSrcPort, 123).to_string(), "port_src=123");
+  EXPECT_EQ(Item(Attribute::kPacketSize, 4).to_string(), "packet_size=(400,500]");
+  EXPECT_EQ(Item(Attribute::kFragment, 1).to_string(), "fragment=1");
+  EXPECT_EQ(kBlackholeItem.to_string(), "blackhole");
+  // Complement items render the paper's "~{...}" notation.
+  const std::string other = Item(Attribute::kDstPortOther, 0).to_string();
+  EXPECT_EQ(other.rfind("port_dst=~{", 0), 0u);
+  EXPECT_NE(other.find("123"), std::string::npos);
+}
+
+TEST(Itemizer, KnownPortsExact) {
+  EXPECT_TRUE(Itemizer::is_known_port(17, 123));
+  EXPECT_TRUE(Itemizer::is_known_port(6, 443));
+  EXPECT_FALSE(Itemizer::is_known_port(17, 44321));
+}
+
+TEST(Itemizer, NtpFlowItems) {
+  const Itemizer itemizer;
+  const Transaction items = itemizer.itemize_header(ntp_flow());
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  const auto has = [&](Item item) {
+    return std::binary_search(items.begin(), items.end(), item);
+  };
+  EXPECT_TRUE(has(Item(Attribute::kProtocol, 17)));
+  EXPECT_TRUE(has(Item(Attribute::kSrcPort, 123)));
+  EXPECT_TRUE(has(Item(Attribute::kDstPortOther, 0)));  // ephemeral dst
+  EXPECT_TRUE(has(Item(Attribute::kPacketSize, 4)));    // 468 B -> (400,500]
+  EXPECT_FALSE(has(kBlackholeItem));
+}
+
+TEST(Itemizer, BlackholedFlowGetsLabelItem) {
+  const Itemizer itemizer;
+  net::FlowRecord flow = ntp_flow();
+  flow.blackholed = true;
+  const Transaction items = itemizer.itemize(flow);
+  EXPECT_TRUE(std::binary_search(items.begin(), items.end(), kBlackholeItem));
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+}
+
+TEST(Itemizer, FragmentFlow) {
+  const Itemizer itemizer;
+  net::FlowRecord flow;
+  flow.protocol = 17;
+  flow.src_port = 0;
+  flow.dst_port = 0;
+  flow.packets = 1;
+  flow.bytes = 1400;
+  const Transaction items = itemizer.itemize_header(flow);
+  const auto has = [&](Item item) {
+    return std::binary_search(items.begin(), items.end(), item);
+  };
+  EXPECT_TRUE(has(Item(Attribute::kFragment, 1)));
+  // Fragments carry no L4 ports, so no port items at all.
+  for (const Item item : items) {
+    EXPECT_NE(item.attribute(), Attribute::kSrcPort);
+    EXPECT_NE(item.attribute(), Attribute::kSrcPortOther);
+    EXPECT_NE(item.attribute(), Attribute::kDstPort);
+    EXPECT_NE(item.attribute(), Attribute::kDstPortOther);
+  }
+}
+
+TEST(Itemizer, PacketSizeBuckets) {
+  const Itemizer itemizer;
+  net::FlowRecord flow = ntp_flow();
+  flow.packets = 1;
+  flow.bytes = 100;  // exactly on boundary -> bucket (0,100]
+  auto items = itemizer.itemize_header(flow);
+  EXPECT_TRUE(std::binary_search(items.begin(), items.end(),
+                                 Item(Attribute::kPacketSize, 0)));
+  flow.bytes = 101;  // -> (100,200]
+  items = itemizer.itemize_header(flow);
+  EXPECT_TRUE(std::binary_search(items.begin(), items.end(),
+                                 Item(Attribute::kPacketSize, 1)));
+  flow.bytes = 50000;  // clamped to top bucket
+  items = itemizer.itemize_header(flow);
+  EXPECT_TRUE(std::binary_search(items.begin(), items.end(),
+                                 Item(Attribute::kPacketSize, 20)));
+}
+
+TEST(Itemizer, ZeroPacketFlowSafe) {
+  const Itemizer itemizer;
+  net::FlowRecord flow = ntp_flow();
+  flow.packets = 0;
+  flow.bytes = 0;
+  const Transaction items = itemizer.itemize_header(flow);
+  EXPECT_TRUE(std::binary_search(items.begin(), items.end(),
+                                 Item(Attribute::kPacketSize, 0)));
+}
+
+}  // namespace
+}  // namespace scrubber::arm

@@ -1,0 +1,109 @@
+#include "bgp/blackhole_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrubber::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+Ipv4Address ip(const char* text) { return *Ipv4Address::parse(text); }
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+TEST(BlackholeRegistry, IntervalSemantics) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  registry.withdraw(pfx("203.0.113.5/32"), 110);
+  EXPECT_FALSE(registry.is_blackholed(ip("203.0.113.5"), 99));
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 100));
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 109));
+  EXPECT_FALSE(registry.is_blackholed(ip("203.0.113.5"), 110));  // half-open
+}
+
+TEST(BlackholeRegistry, OpenEndedInterval) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 1000000));
+}
+
+TEST(BlackholeRegistry, ReAnnouncementIdempotent) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  registry.announce(pfx("203.0.113.5/32"), 105);
+  EXPECT_EQ(registry.interval_count(), 1u);
+  registry.withdraw(pfx("203.0.113.5/32"), 110);
+  registry.announce(pfx("203.0.113.5/32"), 200);
+  EXPECT_EQ(registry.interval_count(), 2u);
+  EXPECT_FALSE(registry.is_blackholed(ip("203.0.113.5"), 150));
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 250));
+}
+
+TEST(BlackholeRegistry, WithdrawWithoutAnnouncementIsNoop) {
+  BlackholeRegistry registry;
+  registry.withdraw(pfx("203.0.113.5/32"), 100);
+  EXPECT_EQ(registry.interval_count(), 0u);
+}
+
+TEST(BlackholeRegistry, DifferentPrefixesIndependent) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  registry.announce(pfx("198.51.100.9/32"), 200);
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 150));
+  EXPECT_FALSE(registry.is_blackholed(ip("198.51.100.9"), 150));
+  EXPECT_EQ(registry.prefix_count(), 2u);
+}
+
+TEST(BlackholeRegistry, CoveringPrefixApplies) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.0/24"), 100);
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.200"), 105));
+  const auto covering = registry.covering_blackhole(ip("203.0.113.200"), 105);
+  ASSERT_TRUE(covering.has_value());
+  EXPECT_EQ(covering->to_string(), "203.0.113.0/24");
+}
+
+TEST(BlackholeRegistry, CoveringBlackholePrefersMostSpecificActive) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.0/24"), 100);
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  registry.withdraw(pfx("203.0.113.5/32"), 110);
+  EXPECT_EQ(registry.covering_blackhole(ip("203.0.113.5"), 105)->to_string(),
+            "203.0.113.5/32");
+  // After the /32 is withdrawn, the /24 still covers.
+  EXPECT_EQ(registry.covering_blackhole(ip("203.0.113.5"), 115)->to_string(),
+            "203.0.113.0/24");
+}
+
+TEST(BlackholeRegistry, ActiveCount) {
+  BlackholeRegistry registry;
+  registry.announce(pfx("203.0.113.5/32"), 100);
+  registry.announce(pfx("198.51.100.9/32"), 105);
+  registry.withdraw(pfx("203.0.113.5/32"), 110);
+  EXPECT_EQ(registry.active_count(99), 0u);
+  EXPECT_EQ(registry.active_count(102), 1u);
+  EXPECT_EQ(registry.active_count(107), 2u);
+  EXPECT_EQ(registry.active_count(115), 1u);
+}
+
+TEST(BlackholeRegistry, ApplyBgpUpdates) {
+  BlackholeRegistry registry;
+  const auto bh = make_blackhole_announcement(pfx("203.0.113.5/32"), 64512,
+                                              ip("10.255.0.1"));
+  registry.apply(bh, 100);
+  EXPECT_TRUE(registry.is_blackholed(ip("203.0.113.5"), 100));
+
+  // A non-blackhole announcement must not register.
+  UpdateMessage plain;
+  plain.announced = {pfx("198.51.100.9/32")};
+  plain.as_path = {64512};
+  plain.next_hop = ip("10.255.0.1");
+  registry.apply(plain, 100);
+  EXPECT_FALSE(registry.is_blackholed(ip("198.51.100.9"), 100));
+
+  registry.apply(make_withdrawal(pfx("203.0.113.5/32")), 120);
+  EXPECT_FALSE(registry.is_blackholed(ip("203.0.113.5"), 125));
+}
+
+}  // namespace
+}  // namespace scrubber::bgp

@@ -1,0 +1,156 @@
+#include "bgp/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrubber::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+UpdateMessage sample_announcement() {
+  UpdateMessage msg;
+  msg.announced = {*Ipv4Prefix::parse("203.0.113.5/32"),
+                   *Ipv4Prefix::parse("198.51.100.0/24")};
+  msg.as_path = {64512, 64513, 3320};
+  msg.next_hop = *Ipv4Address::parse("10.255.0.1");
+  msg.origin = Origin::kIgp;
+  msg.communities = {kBlackhole, kNoExport, Community(64512, 100)};
+  return msg;
+}
+
+TEST(Community, Packing) {
+  const Community c(65535, 666);
+  EXPECT_EQ(c.asn(), 65535);
+  EXPECT_EQ(c.value(), 666);
+  EXPECT_EQ(c.raw(), 0xFFFF029Au);
+  EXPECT_EQ(c.to_string(), "65535:666");
+  EXPECT_EQ(c, kBlackhole);
+}
+
+TEST(Community, WellKnownValues) {
+  EXPECT_EQ(kNoExport.raw(), 0xFFFFFF01u);
+  EXPECT_EQ(kNoAdvertise.raw(), 0xFFFFFF02u);
+}
+
+TEST(UpdateMessage, EncodeDecodeRoundTrip) {
+  const UpdateMessage msg = sample_announcement();
+  const auto wire = msg.encode();
+  const UpdateMessage decoded = UpdateMessage::decode(wire);
+  EXPECT_EQ(decoded, msg);
+}
+
+TEST(UpdateMessage, WireFormatBasics) {
+  const auto wire = sample_announcement().encode();
+  ASSERT_GE(wire.size(), 19u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(wire[i], 0xFF);  // marker
+  const std::size_t length = (std::size_t{wire[16]} << 8) | wire[17];
+  EXPECT_EQ(length, wire.size());
+  EXPECT_EQ(wire[18], 2);  // type UPDATE
+}
+
+TEST(UpdateMessage, WithdrawalRoundTrip) {
+  const UpdateMessage msg = make_withdrawal(*Ipv4Prefix::parse("203.0.113.5/32"));
+  const UpdateMessage decoded = UpdateMessage::decode(msg.encode());
+  ASSERT_EQ(decoded.withdrawn.size(), 1u);
+  EXPECT_EQ(decoded.withdrawn[0].to_string(), "203.0.113.5/32");
+  EXPECT_TRUE(decoded.announced.empty());
+  EXPECT_FALSE(decoded.is_blackhole_announcement());
+}
+
+TEST(UpdateMessage, PrefixEncodingUsesMinimalBytes) {
+  UpdateMessage msg;
+  msg.announced = {*Ipv4Prefix::parse("10.0.0.0/8")};
+  msg.as_path = {64512};
+  msg.next_hop = Ipv4Address(1);
+  const auto wire = msg.encode();
+  const UpdateMessage decoded = UpdateMessage::decode(wire);
+  EXPECT_EQ(decoded.announced[0].to_string(), "10.0.0.0/8");
+  // /8 NLRI takes 2 bytes (length + 1 address byte); compare against /24.
+  UpdateMessage msg24 = msg;
+  msg24.announced = {*Ipv4Prefix::parse("10.1.2.0/24")};
+  EXPECT_EQ(msg24.encode().size(), wire.size() + 2);
+}
+
+TEST(UpdateMessage, ZeroLengthPrefixRoundTrip) {
+  UpdateMessage msg;
+  msg.announced = {*Ipv4Prefix::parse("0.0.0.0/0")};
+  msg.as_path = {64512};
+  msg.next_hop = Ipv4Address(1);
+  const UpdateMessage decoded = UpdateMessage::decode(msg.encode());
+  EXPECT_EQ(decoded.announced[0].length(), 0);
+}
+
+TEST(UpdateMessage, BlackholeDetection) {
+  EXPECT_TRUE(sample_announcement().is_blackhole_announcement());
+  UpdateMessage plain = sample_announcement();
+  plain.communities = {Community(64512, 100)};
+  EXPECT_FALSE(plain.is_blackhole_announcement());
+  // A withdrawal with the community set is still not an announcement.
+  UpdateMessage withdrawal;
+  withdrawal.withdrawn = {*Ipv4Prefix::parse("1.2.3.4/32")};
+  withdrawal.communities = {kBlackhole};
+  EXPECT_FALSE(withdrawal.is_blackhole_announcement());
+}
+
+TEST(UpdateMessage, OriginAs) {
+  EXPECT_EQ(sample_announcement().origin_as(), 3320u);
+  EXPECT_EQ(UpdateMessage{}.origin_as(), 0u);
+}
+
+TEST(UpdateMessage, MakeBlackholeAnnouncementFollowsRfc7999) {
+  const auto msg = make_blackhole_announcement(
+      *Ipv4Prefix::parse("203.0.113.5/32"), 64999, Ipv4Address(7));
+  EXPECT_TRUE(msg.is_blackhole_announcement());
+  EXPECT_EQ(msg.origin_as(), 64999u);
+  // BLACKHOLE should be combined with NO_EXPORT per RFC 7999 §3.2.
+  bool has_no_export = false;
+  for (const Community c : msg.communities) has_no_export |= (c == kNoExport);
+  EXPECT_TRUE(has_no_export);
+}
+
+TEST(UpdateMessage, DecodeRejectsGarbage) {
+  EXPECT_THROW(UpdateMessage::decode({}), BgpDecodeError);
+  std::vector<std::uint8_t> bad(19, 0x00);
+  EXPECT_THROW(UpdateMessage::decode(bad), BgpDecodeError);
+  // Correct marker but wrong length field.
+  auto wire = sample_announcement().encode();
+  wire[17] = static_cast<std::uint8_t>(wire[17] + 1);
+  EXPECT_THROW(UpdateMessage::decode(wire), BgpDecodeError);
+}
+
+TEST(UpdateMessage, DecodeRejectsTruncated) {
+  auto wire = sample_announcement().encode();
+  wire.resize(wire.size() - 3);
+  wire[16] = static_cast<std::uint8_t>(wire.size() >> 8);
+  wire[17] = static_cast<std::uint8_t>(wire.size());
+  EXPECT_THROW(UpdateMessage::decode(wire), BgpDecodeError);
+}
+
+TEST(UpdateMessage, DecodeRejectsNonUpdateType) {
+  auto wire = sample_announcement().encode();
+  wire[18] = 1;  // OPEN
+  EXPECT_THROW(UpdateMessage::decode(wire), BgpDecodeError);
+}
+
+TEST(UpdateMessage, LargeAsPathRoundTrip) {
+  UpdateMessage msg;
+  msg.announced = {*Ipv4Prefix::parse("10.0.0.0/8")};
+  msg.next_hop = Ipv4Address(1);
+  for (std::uint32_t i = 0; i < 40; ++i) msg.as_path.push_back(64500 + i);
+  const UpdateMessage decoded = UpdateMessage::decode(msg.encode());
+  EXPECT_EQ(decoded.as_path, msg.as_path);
+}
+
+TEST(UpdateMessage, OversizeThrowsLengthError) {
+  UpdateMessage msg;
+  msg.next_hop = Ipv4Address(1);
+  msg.as_path = {64512};
+  for (std::uint32_t i = 0; i < 1200; ++i) {
+    msg.announced.push_back(Ipv4Prefix(Ipv4Address(i << 8), 32));
+  }
+  EXPECT_THROW(msg.encode(), std::length_error);
+}
+
+}  // namespace
+}  // namespace scrubber::bgp

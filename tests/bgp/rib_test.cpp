@@ -1,0 +1,97 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrubber::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+Ipv4Address ip(const char* text) { return *Ipv4Address::parse(text); }
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+TEST(Rib, AnnounceInstallsRoute) {
+  Rib rib;
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1")));
+  ASSERT_NE(rib.lookup(pfx("203.0.113.5/32")), nullptr);
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_TRUE(rib.lookup(pfx("203.0.113.5/32"))->is_blackhole());
+  EXPECT_EQ(rib.lookup(pfx("203.0.113.5/32"))->origin_as, 64512u);
+}
+
+TEST(Rib, WithdrawRemovesRoute) {
+  Rib rib;
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1")));
+  rib.apply(make_withdrawal(pfx("203.0.113.5/32")));
+  EXPECT_EQ(rib.lookup(pfx("203.0.113.5/32")), nullptr);
+  EXPECT_EQ(rib.size(), 0u);
+}
+
+TEST(Rib, ImplicitReplaceUpdatesAttributes) {
+  Rib rib;
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1")));
+  UpdateMessage replace;
+  replace.announced = {pfx("203.0.113.5/32")};
+  replace.as_path = {64999};
+  replace.next_hop = ip("10.255.0.2");
+  rib.apply(replace);
+  const RouteEntry* entry = rib.lookup(pfx("203.0.113.5/32"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->origin_as, 64999u);
+  EXPECT_FALSE(entry->is_blackhole());  // new path has no community
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(Rib, ResolveUsesLongestMatch) {
+  Rib rib;
+  UpdateMessage covering;
+  covering.announced = {pfx("203.0.0.0/16")};
+  covering.as_path = {100};
+  covering.next_hop = ip("10.0.0.1");
+  rib.apply(covering);
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1")));
+  EXPECT_EQ(rib.resolve(ip("203.0.113.5"))->origin_as, 64512u);
+  EXPECT_EQ(rib.resolve(ip("203.0.1.1"))->origin_as, 100u);
+  EXPECT_EQ(rib.resolve(ip("9.9.9.9")), nullptr);
+}
+
+TEST(Rib, IsBlackholedConsidersCoveringRoutes) {
+  Rib rib;
+  // Blackhole on the /24, regular more-specific /32.
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.0/24"), 64512, ip("10.255.0.1")));
+  UpdateMessage specific;
+  specific.announced = {pfx("203.0.113.5/32")};
+  specific.as_path = {100};
+  specific.next_hop = ip("10.0.0.1");
+  rib.apply(specific);
+  // The /32 is the best path, but a covering blackhole still applies.
+  EXPECT_TRUE(rib.is_blackholed(ip("203.0.113.5")));
+  EXPECT_TRUE(rib.is_blackholed(ip("203.0.113.77")));
+  EXPECT_FALSE(rib.is_blackholed(ip("203.0.114.1")));
+}
+
+TEST(Rib, BlackholePrefixesEnumeration) {
+  Rib rib;
+  rib.apply(make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1")));
+  rib.apply(make_blackhole_announcement(pfx("198.51.100.9/32"), 64513, ip("10.255.0.1")));
+  UpdateMessage plain;
+  plain.announced = {pfx("10.0.0.0/8")};
+  plain.as_path = {100};
+  plain.next_hop = ip("10.0.0.1");
+  rib.apply(plain);
+  EXPECT_EQ(rib.blackhole_prefixes().size(), 2u);
+  EXPECT_EQ(rib.size(), 3u);
+}
+
+TEST(Rib, UpdateViaWireBytes) {
+  // A RIB fed from encoded bytes behaves identically.
+  Rib rib;
+  const auto update =
+      make_blackhole_announcement(pfx("203.0.113.5/32"), 64512, ip("10.255.0.1"));
+  rib.apply(UpdateMessage::decode(update.encode()));
+  EXPECT_TRUE(rib.is_blackholed(ip("203.0.113.5")));
+}
+
+}  // namespace
+}  // namespace scrubber::bgp

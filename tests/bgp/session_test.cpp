@@ -1,0 +1,205 @@
+#include "bgp/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/blackhole_registry.hpp"
+
+namespace scrubber::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+/// Test harness: captures sent messages and received updates.
+struct Harness {
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<UpdateMessage> updates;
+
+  Session make_session(Session::Config config = {}) {
+    return Session(
+        config,
+        [this](std::vector<std::uint8_t> wire) { sent.push_back(std::move(wire)); },
+        [this](const UpdateMessage& update, std::uint64_t) {
+          updates.push_back(update);
+        });
+  }
+
+  /// Drives the handshake to Established at t=0.
+  static void establish(Session& session, Harness& harness) {
+    session.start(0);
+    OpenMessage peer;
+    peer.as_number = 65000;
+    peer.hold_time_s = 90;
+    peer.bgp_identifier = 0x01020304;
+    session.receive(peer.encode(), 10);
+    session.receive(encode_keepalive(), 20);
+    ASSERT_TRUE(session.established());
+    harness.sent.clear();
+  }
+};
+
+TEST(OpenMessage, RoundTrip) {
+  OpenMessage open;
+  open.as_number = 64999;
+  open.hold_time_s = 180;
+  open.bgp_identifier = 0xC0000201;
+  EXPECT_EQ(OpenMessage::decode(open.encode()), open);
+}
+
+TEST(NotificationMessage, RoundTrip) {
+  const NotificationMessage n{6, 2};
+  EXPECT_EQ(NotificationMessage::decode(n.encode()), n);
+}
+
+TEST(MessageType, Detection) {
+  EXPECT_EQ(message_type(OpenMessage{}.encode()), MessageType::kOpen);
+  EXPECT_EQ(message_type(encode_keepalive()), MessageType::kKeepalive);
+  EXPECT_EQ(message_type(NotificationMessage{1, 1}.encode()),
+            MessageType::kNotification);
+  const auto update =
+      make_withdrawal(*Ipv4Prefix::parse("10.0.0.0/8")).encode();
+  EXPECT_EQ(message_type(update), MessageType::kUpdate);
+  EXPECT_THROW(message_type({}), BgpDecodeError);
+}
+
+TEST(Session, HandshakeReachesEstablished) {
+  Harness harness;
+  Session session = harness.make_session();
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+
+  session.start(0);
+  EXPECT_EQ(session.state(), SessionState::kOpenSent);
+  ASSERT_EQ(harness.sent.size(), 1u);
+  EXPECT_EQ(message_type(harness.sent[0]), MessageType::kOpen);
+
+  OpenMessage peer;
+  peer.as_number = 65000;
+  peer.hold_time_s = 30;
+  session.receive(peer.encode(), 10);
+  EXPECT_EQ(session.state(), SessionState::kOpenConfirm);
+  EXPECT_EQ(session.negotiated_hold_time(), 30);  // min of both sides
+  ASSERT_EQ(harness.sent.size(), 2u);
+  EXPECT_EQ(message_type(harness.sent[1]), MessageType::kKeepalive);
+
+  session.receive(encode_keepalive(), 20);
+  EXPECT_TRUE(session.established());
+}
+
+TEST(Session, UpdatesDeliveredToSink) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+
+  const auto update = make_blackhole_announcement(
+      *Ipv4Prefix::parse("203.0.113.5/32"), 64512, Ipv4Address(1));
+  session.receive(update.encode(), 1000);
+  session.receive(update.encode(), 2000);
+  EXPECT_EQ(session.updates_received(), 2u);
+  ASSERT_EQ(harness.updates.size(), 2u);
+  EXPECT_TRUE(harness.updates[0].is_blackhole_announcement());
+}
+
+TEST(Session, UpdateBeforeEstablishedIsFsmError) {
+  Harness harness;
+  Session session = harness.make_session();
+  session.start(0);
+  const auto update = make_withdrawal(*Ipv4Prefix::parse("10.0.0.0/8"));
+  session.receive(update.encode(), 10);
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+  ASSERT_TRUE(session.last_notification_sent().has_value());
+  EXPECT_EQ(session.last_notification_sent()->code, 5);  // FSM error
+}
+
+TEST(Session, MalformedInputSendsNotification) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+  session.receive(std::vector<std::uint8_t>(25, 0x00), 100);
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+  ASSERT_TRUE(session.last_notification_sent().has_value());
+  EXPECT_EQ(session.last_notification_sent()->code, 1);  // header error
+}
+
+TEST(Session, UnsupportedVersionRejected) {
+  Harness harness;
+  Session session = harness.make_session();
+  session.start(0);
+  OpenMessage peer;
+  peer.version = 3;
+  session.receive(peer.encode(), 10);
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+  EXPECT_EQ(session.last_notification_sent()->code, 2);  // OPEN error
+}
+
+TEST(Session, HoldTimerExpiryDropsSession) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+  // Negotiated hold is 90 s; no traffic for 91 s.
+  session.tick(20 + 91'000);
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+  EXPECT_EQ(session.last_notification_sent()->code, 4);  // hold timer expired
+}
+
+TEST(Session, KeepalivesRefreshHoldTimer) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+  for (std::uint64_t t = 10'000; t <= 300'000; t += 10'000) {
+    session.receive(encode_keepalive(), t);
+    session.tick(t);
+  }
+  EXPECT_TRUE(session.established());
+}
+
+TEST(Session, EmitsPeriodicKeepalives) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+  const auto before = session.keepalives_sent();
+  // 90 s hold -> keepalive every 30 s; tick over 2 minutes.
+  for (std::uint64_t t = 0; t <= 120'000; t += 1'000) {
+    session.receive(encode_keepalive(), t);  // peer stays alive
+    session.tick(t);
+  }
+  EXPECT_GE(session.keepalives_sent() - before, 3u);
+}
+
+TEST(Session, PeerNotificationClosesSession) {
+  Harness harness;
+  Session session = harness.make_session();
+  Harness::establish(session, harness);
+  session.receive(NotificationMessage{6, 4}.encode(), 50);
+  EXPECT_EQ(session.state(), SessionState::kIdle);
+}
+
+TEST(Session, FullFeedIntoBlackholeRegistry) {
+  // End-to-end: session feeds a BlackholeRegistry keyed by minute.
+  BlackholeRegistry registry;
+  std::vector<std::vector<std::uint8_t>> sent;
+  Session session(
+      Session::Config{},
+      [&](std::vector<std::uint8_t> wire) { sent.push_back(std::move(wire)); },
+      [&](const UpdateMessage& update, std::uint64_t now_ms) {
+        registry.apply(update, static_cast<std::uint32_t>(now_ms / 60'000));
+      });
+  session.start(0);
+  OpenMessage peer;
+  peer.as_number = 65000;
+  session.receive(peer.encode(), 1);
+  session.receive(encode_keepalive(), 2);
+  ASSERT_TRUE(session.established());
+
+  const auto prefix = *Ipv4Prefix::parse("203.0.113.5/32");
+  session.receive(
+      make_blackhole_announcement(prefix, 64512, Ipv4Address(1)).encode(),
+      5 * 60'000);
+  session.receive(make_withdrawal(prefix).encode(), 9 * 60'000);
+
+  EXPECT_FALSE(registry.is_blackholed(*Ipv4Address::parse("203.0.113.5"), 4));
+  EXPECT_TRUE(registry.is_blackholed(*Ipv4Address::parse("203.0.113.5"), 7));
+  EXPECT_FALSE(registry.is_blackholed(*Ipv4Address::parse("203.0.113.5"), 10));
+}
+
+}  // namespace
+}  // namespace scrubber::bgp

@@ -1,0 +1,78 @@
+#include "core/acl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace scrubber::core {
+namespace {
+
+arm::TaggingRule make_rule(std::vector<arm::Item> antecedent,
+                           arm::RuleStatus status = arm::RuleStatus::kAccepted) {
+  std::sort(antecedent.begin(), antecedent.end());
+  arm::TaggingRule rule;
+  rule.rule.antecedent = std::move(antecedent);
+  rule.rule.consequent = arm::kBlackholeItem;
+  rule.rule.confidence = 0.976;
+  rule.rule.support = 0.026;
+  rule.id = arm::rule_id(rule.rule.antecedent);
+  rule.status = status;
+  return rule;
+}
+
+TEST(Acl, NtpRuleRendersPortsAndSize) {
+  const auto rule = make_rule({arm::Item(arm::Attribute::kProtocol, 17),
+                               arm::Item(arm::Attribute::kSrcPort, 123),
+                               arm::Item(arm::Attribute::kDstPortOther, 0),
+                               arm::Item(arm::Attribute::kPacketSize, 4)});
+  const std::string entry = acl_entry(rule);
+  EXPECT_EQ(entry.rfind("deny udp", 0), 0u);
+  EXPECT_NE(entry.find("eq 123"), std::string::npos);
+  EXPECT_NE(entry.find("range 1024 65535"), std::string::npos);
+  EXPECT_NE(entry.find("match-size 401-500"), std::string::npos);
+  EXPECT_NE(entry.find("conf=0.976"), std::string::npos);
+  EXPECT_NE(entry.find(rule.id), std::string::npos);
+}
+
+TEST(Acl, FragmentRule) {
+  const auto rule = make_rule({arm::Item(arm::Attribute::kProtocol, 17),
+                               arm::Item(arm::Attribute::kFragment, 1)});
+  const std::string entry = acl_entry(rule);
+  EXPECT_NE(entry.find("fragments"), std::string::npos);
+}
+
+TEST(Acl, ActionKeywords) {
+  const auto rule = make_rule({arm::Item(arm::Attribute::kProtocol, 17)});
+  EXPECT_EQ(acl_entry(rule, AclAction::kDeny).rfind("deny", 0), 0u);
+  EXPECT_EQ(acl_entry(rule, AclAction::kRateLimit).rfind("police", 0), 0u);
+  EXPECT_EQ(acl_entry(rule, AclAction::kMonitor).rfind("log", 0), 0u);
+}
+
+TEST(Acl, GreProtocolKeyword) {
+  const auto rule = make_rule({arm::Item(arm::Attribute::kProtocol, 47)});
+  EXPECT_NE(acl_entry(rule).find("deny gre"), std::string::npos);
+}
+
+TEST(Acl, GenerateOnlyAcceptedRules) {
+  arm::RuleSet rules;
+  rules.add(make_rule({arm::Item(arm::Attribute::kSrcPort, 123)},
+                      arm::RuleStatus::kAccepted));
+  rules.add(make_rule({arm::Item(arm::Attribute::kSrcPort, 53)},
+                      arm::RuleStatus::kStaging));
+  rules.add(make_rule({arm::Item(arm::Attribute::kSrcPort, 161)},
+                      arm::RuleStatus::kDeclined));
+  const std::string acl = generate_acl(rules);
+  EXPECT_NE(acl.find("eq 123"), std::string::npos);
+  EXPECT_EQ(acl.find("eq 53"), std::string::npos);
+  EXPECT_EQ(acl.find("eq 161"), std::string::npos);
+  // Implicit permit at the end.
+  EXPECT_NE(acl.find("permit ip any any\n"), std::string::npos);
+}
+
+TEST(Acl, EmptyRuleSetStillPermits) {
+  const arm::RuleSet rules;
+  EXPECT_EQ(generate_acl(rules), "permit ip any any\n");
+}
+
+}  // namespace
+}  // namespace scrubber::core

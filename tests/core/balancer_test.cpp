@@ -1,0 +1,184 @@
+#include "core/balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "flowgen/generator.hpp"
+#include "util/stats.hpp"
+
+namespace scrubber::core {
+namespace {
+
+net::FlowRecord flow_to(std::uint32_t minute, std::uint32_t dst, bool blackholed,
+                        std::uint32_t src = 1) {
+  net::FlowRecord f;
+  f.minute = minute;
+  f.dst_ip = net::Ipv4Address(dst);
+  f.src_ip = net::Ipv4Address(src);
+  f.packets = 1;
+  f.bytes = 500;
+  f.blackholed = blackholed;
+  return f;
+}
+
+TEST(Balancer, KeepsAllBlackholedFlows) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 10; ++i) flows.push_back(flow_to(0, 100, true));
+  for (int i = 0; i < 100; ++i)
+    flows.push_back(flow_to(0, 200 + static_cast<std::uint32_t>(i % 5), false));
+  balancer.add_minute(0, flows);
+  std::size_t bh = 0;
+  for (const auto& f : balancer.balanced()) bh += f.blackholed;
+  EXPECT_EQ(bh, 10u);
+}
+
+TEST(Balancer, BalancesFlowCounts) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 20; ++i) flows.push_back(flow_to(0, 100, true));
+  // Plenty of benign supply across several IPs.
+  for (int i = 0; i < 500; ++i)
+    flows.push_back(flow_to(0, 200 + static_cast<std::uint32_t>(i % 10), false));
+  balancer.add_minute(0, flows);
+  const auto& totals = balancer.totals();
+  EXPECT_NEAR(totals.blackhole_share(), 0.5, 0.05);
+  EXPECT_EQ(totals.balanced_blackhole_flows, 20u);
+}
+
+TEST(Balancer, NoBlackholeMeansNothingKept) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 50; ++i) flows.push_back(flow_to(0, 200, false));
+  balancer.add_minute(0, flows);
+  EXPECT_TRUE(balancer.balanced().empty());
+  EXPECT_EQ(balancer.totals().raw_flows, 50u);
+}
+
+TEST(Balancer, NoBenignMeansOnlyBlackholeKept) {
+  // Degenerate minute: blackholed traffic only. Nothing to pair with.
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows{flow_to(0, 100, true), flow_to(0, 100, true)};
+  balancer.add_minute(0, flows);
+  EXPECT_TRUE(balancer.balanced().empty());
+}
+
+TEST(Balancer, SpilloverCoversDeficit) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  // One hot victim with 30 flows; benign IPs have only 5 flows each.
+  for (int i = 0; i < 30; ++i) flows.push_back(flow_to(0, 100, true));
+  for (int ip = 0; ip < 20; ++ip) {
+    for (int k = 0; k < 5; ++k)
+      flows.push_back(flow_to(0, 200 + static_cast<std::uint32_t>(ip), false));
+  }
+  balancer.add_minute(0, flows);
+  const auto& totals = balancer.totals();
+  // 30 blackholed + 30 benign (6 IPs x 5 flows spillover).
+  EXPECT_EQ(totals.balanced_blackhole_flows, 30u);
+  EXPECT_EQ(totals.balanced_flows, 60u);
+}
+
+TEST(Balancer, BenignSupplyShortfallTakesWhatExists) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 50; ++i) flows.push_back(flow_to(0, 100, true));
+  for (int i = 0; i < 10; ++i) flows.push_back(flow_to(0, 200, false));
+  balancer.add_minute(0, flows);
+  EXPECT_EQ(balancer.totals().balanced_flows, 60u);  // 50 BH + all 10 benign
+}
+
+TEST(Balancer, MinuteStatsRecorded) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 4; ++i) flows.push_back(flow_to(7, 100, true));
+  for (int i = 0; i < 40; ++i)
+    flows.push_back(flow_to(7, 200 + static_cast<std::uint32_t>(i % 4), false));
+  balancer.add_minute(7, flows);
+  ASSERT_EQ(balancer.minute_stats().size(), 1u);
+  const auto& stats = balancer.minute_stats()[0];
+  EXPECT_EQ(stats.minute, 7u);
+  EXPECT_EQ(stats.raw_flows, 44u);
+  EXPECT_EQ(stats.blackhole_flows, 4u);
+  EXPECT_EQ(stats.blackhole_unique_ips, 1u);
+  EXPECT_DOUBLE_EQ(stats.blackhole_flows_per_ip(), 4.0);
+  EXPECT_GT(stats.blackhole_byte_share(), 0.0);
+}
+
+TEST(Balancer, ReductionRatioReflectsDiscarding) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  flows.push_back(flow_to(0, 100, true));
+  for (int i = 0; i < 999; ++i)
+    flows.push_back(flow_to(0, 200 + static_cast<std::uint32_t>(i % 7), false));
+  balancer.add_minute(0, flows);
+  EXPECT_NEAR(balancer.totals().reduction_ratio(), 2.0 / 1000.0, 1e-9);
+}
+
+TEST(Balancer, BalancedFlowsComeFromInput) {
+  Balancer balancer(1);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 5; ++i) flows.push_back(flow_to(0, 100, true, 42));
+  for (int i = 0; i < 50; ++i)
+    flows.push_back(flow_to(0, 200 + static_cast<std::uint32_t>(i % 3), false, 43));
+  balancer.add_minute(0, flows);
+  for (const auto& f : balancer.balanced()) {
+    EXPECT_TRUE(f.src_ip.value() == 42 || f.src_ip.value() == 43);
+    EXPECT_EQ(f.minute, 0u);
+  }
+}
+
+TEST(BalanceTrace, GroupsByMinute) {
+  std::vector<net::FlowRecord> flows;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    for (int i = 0; i < 5; ++i) flows.push_back(flow_to(m, 100, true));
+    for (int i = 0; i < 50; ++i)
+      flows.push_back(flow_to(m, 200 + static_cast<std::uint32_t>(i % 5), false));
+  }
+  BalanceTotals totals;
+  const auto balanced = balance_trace(flows, 1, &totals);
+  EXPECT_EQ(totals.balanced_blackhole_flows, 15u);
+  EXPECT_NEAR(totals.blackhole_share(), 0.5, 0.01);
+  // Every balanced flow retains its original minute.
+  std::unordered_set<std::uint32_t> minutes;
+  for (const auto& f : balanced) minutes.insert(f.minute);
+  EXPECT_EQ(minutes.size(), 3u);
+}
+
+TEST(BalancerIntegration, RealisticTraceIsRoughlyBalanced) {
+  // End to end against the generator: Table 2's ~50% blackhole share and
+  // the >=99% data reduction (by flows) in attack-bearing traffic.
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 77);
+  Balancer balancer(7);
+  gen.generate_stream(
+      0, 24 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> flows) {
+        balancer.add_minute(m, flows);
+      });
+  const auto& totals = balancer.totals();
+  EXPECT_NEAR(totals.blackhole_share(), 0.5, 0.05);
+  EXPECT_LT(totals.reduction_ratio(), 0.10);
+}
+
+TEST(BalancerIntegration, FlowsPerIpCorrelated) {
+  // Figure 3c: flows per unique IP correlate between the classes.
+  flowgen::TrafficGenerator gen(flowgen::ixp_ce1(), 78);
+  Balancer balancer(8);
+  gen.generate_stream(
+      0, 12 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> flows) {
+        balancer.add_minute(m, flows);
+      });
+  std::vector<double> bh, benign;
+  for (const auto& stats : balancer.minute_stats()) {
+    if (stats.blackhole_unique_ips == 0 || stats.benign_selected_ips == 0) continue;
+    bh.push_back(stats.blackhole_flows_per_ip());
+    benign.push_back(stats.benign_flows_per_ip());
+  }
+  ASSERT_GT(bh.size(), 20u);
+  EXPECT_GT(util::pearson(bh, benign), 0.4);
+}
+
+}  // namespace
+}  // namespace scrubber::core

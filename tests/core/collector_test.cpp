@@ -1,0 +1,183 @@
+#include "core/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flowgen/generator.hpp"
+
+namespace scrubber::core {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+net::SflowDatagram datagram_at(std::uint32_t minute, std::uint32_t dst,
+                               std::uint16_t src_port = 123,
+                               std::uint32_t samples = 3) {
+  net::SflowDatagram d;
+  d.agent = Ipv4Address(0x0AFF0001);
+  d.uptime_ms = std::uint64_t{minute} * 60'000;
+  for (std::uint32_t k = 0; k < samples; ++k) {
+    net::SflowFlowSample sample;
+    sample.sampling_rate = 10;
+    sample.input_port = 5;
+    sample.packet.src_ip = Ipv4Address(0x80000000 + k);
+    sample.packet.dst_ip = Ipv4Address(dst);
+    sample.packet.src_port = src_port;
+    sample.packet.dst_port = 44000;
+    sample.packet.protocol = 17;
+    sample.packet.length = 468;
+    d.samples.push_back(sample);
+  }
+  return d;
+}
+
+TEST(Collector, EmitsClosedMinutes) {
+  std::map<std::uint32_t, std::size_t> batches;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+                        batches[minute] += f.size();
+                      });
+  collector.ingest(datagram_at(0, 100));
+  EXPECT_TRUE(batches.empty());  // minute 0 still open (slack)
+  collector.ingest(datagram_at(2, 100));
+  // Watermark 2, slack 1 -> minute 0 closed.
+  ASSERT_EQ(batches.count(0), 1u);
+  EXPECT_EQ(batches[0], 3u);  // 3 distinct source IPs
+  collector.flush();
+  EXPECT_EQ(batches.count(2), 1u);
+}
+
+TEST(Collector, ScalesBySamplingRate) {
+  std::vector<net::FlowRecord> flows;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                        flows.insert(flows.end(), f.begin(), f.end());
+                      });
+  collector.ingest(datagram_at(0, 100, 123, 1));
+  collector.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 10u);
+  EXPECT_EQ(flows[0].bytes, 4680u);
+}
+
+TEST(Collector, LabelsFromBgpFeed) {
+  std::vector<net::FlowRecord> flows;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                        flows.insert(flows.end(), f.begin(), f.end());
+                      });
+  // Blackhole for dst 100 announced at minute 0; dst 200 never blackholed.
+  collector.ingest_bgp(
+      bgp::make_blackhole_announcement(Ipv4Prefix::host(Ipv4Address(100)), 64512,
+                                       Ipv4Address(1)),
+      0);
+  collector.ingest(datagram_at(0, 100));
+  collector.ingest(datagram_at(0, 200));
+  collector.flush();
+  ASSERT_EQ(flows.size(), 6u);
+  for (const auto& flow : flows) {
+    EXPECT_EQ(flow.blackholed, flow.dst_ip.value() == 100u);
+  }
+  EXPECT_EQ(collector.blackholed_flows(), 3u);
+  EXPECT_EQ(collector.flows_emitted(), 6u);
+}
+
+TEST(Collector, AnonymizesWhenConfigured) {
+  std::vector<net::FlowRecord> flows;
+  Collector collector({.sampling_rate = 10, .anonymization_salt = 999},
+                      [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                        flows.insert(flows.end(), f.begin(), f.end());
+                      });
+  collector.ingest_bgp(
+      bgp::make_blackhole_announcement(Ipv4Prefix::host(Ipv4Address(100)), 64512,
+                                       Ipv4Address(1)),
+      0);
+  collector.ingest(datagram_at(0, 100));
+  collector.flush();
+  ASSERT_FALSE(flows.empty());
+  for (const auto& flow : flows) {
+    EXPECT_NE(flow.dst_ip.value(), 100u);  // address hashed
+    EXPECT_TRUE(flow.blackholed);          // ...but labeled before hashing
+    EXPECT_EQ(flow.src_port, 123);         // ports untouched
+  }
+}
+
+TEST(Collector, WireIngestion) {
+  std::size_t flows = 0;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                        flows += f.size();
+                      });
+  collector.ingest_wire(datagram_at(0, 100).encode());
+  collector.flush();
+  EXPECT_EQ(flows, 3u);
+  EXPECT_EQ(collector.datagrams(), 1u);
+  EXPECT_THROW(collector.ingest_wire({1, 2, 3}), net::SflowDecodeError);
+}
+
+TEST(Collector, ReorderSlackToleratesLateDatagrams) {
+  std::map<std::uint32_t, std::size_t> batches;
+  Collector collector({.sampling_rate = 10, .reorder_slack_min = 2},
+                      [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+                        batches[minute] += f.size();
+                      });
+  collector.ingest(datagram_at(5, 100));
+  collector.ingest(datagram_at(4, 100));  // late, within slack
+  collector.ingest(datagram_at(7, 100));  // closes minutes < 5
+  EXPECT_EQ(batches.count(4), 1u);
+  EXPECT_EQ(batches.count(5), 0u);
+  collector.flush();
+  EXPECT_EQ(batches.count(5), 1u);
+  EXPECT_EQ(batches.count(7), 1u);
+}
+
+TEST(FlowsToDatagrams, RoundTripPreservesAggregates) {
+  // Property: flows -> datagrams -> collector reproduces the original
+  // per-flow aggregates (packets within rounding, key fields exactly).
+  flowgen::TrafficGenerator gen(flowgen::ixp_us2(), 77);
+  const auto trace = gen.generate(0, 30);
+  const std::uint32_t rate = 4;
+  const auto datagrams =
+      flows_to_datagrams(trace.flows, rate, Ipv4Address(0x0AFF0001));
+  ASSERT_FALSE(datagrams.empty());
+
+  std::vector<net::FlowRecord> reconstructed;
+  Collector collector({.sampling_rate = rate, .reorder_slack_min = 0},
+                      [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                        reconstructed.insert(reconstructed.end(), f.begin(),
+                                             f.end());
+                      });
+  // Replay the BGP feed so labels reproduce too.
+  for (const auto& [minute, update] : gen.updates()) {
+    collector.ingest_bgp(update, std::uint64_t{minute} * 60'000);
+  }
+  for (const auto& d : datagrams) collector.ingest(d);
+  collector.flush();
+
+  // Index original flows by key.
+  const auto key = [](const net::FlowRecord& f) {
+    return std::tuple(f.minute, f.src_ip.value(), f.dst_ip.value(), f.src_port,
+                      f.dst_port, f.protocol, f.src_member);
+  };
+  std::map<decltype(key(net::FlowRecord{})), const net::FlowRecord*> originals;
+  for (const auto& f : trace.flows) originals[key(f)] = &f;
+
+  ASSERT_EQ(reconstructed.size(), originals.size());
+  std::size_t label_matches = 0;
+  for (const auto& f : reconstructed) {
+    const auto it = originals.find(key(f));
+    ASSERT_NE(it, originals.end());
+    const net::FlowRecord& original = *it->second;
+    // Sampling quantizes packets to multiples of the rate.
+    EXPECT_LE(
+        std::abs(static_cast<long>(f.packets) - static_cast<long>(original.packets)),
+        static_cast<long>(rate));
+    label_matches += (f.blackholed == original.blackholed);
+  }
+  EXPECT_EQ(label_matches, reconstructed.size());
+}
+
+}  // namespace
+}  // namespace scrubber::core

@@ -1,0 +1,101 @@
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/balancer.hpp"
+#include "flowgen/generator.hpp"
+
+namespace scrubber::core {
+namespace {
+
+/// Minimal trained scrubber over a short generated trace.
+struct Fixture {
+  Fixture() {
+    flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 21);
+    Balancer balancer(3);
+    gen.generate_stream(
+        0, 10 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+        [&](std::uint32_t m, std::span<const net::FlowRecord> flows) {
+          balancer.add_minute(m, flows);
+        });
+    flows = balancer.take_balanced();
+    auto rules = scrubber.mine_tagging_rules(flows);
+    accept_rules_above(rules, 0.9);
+    scrubber.set_rules(std::move(rules));
+    aggregated = scrubber.aggregate(flows);
+    scrubber.train(aggregated);
+  }
+
+  std::vector<net::FlowRecord> flows;
+  IxpScrubber scrubber;
+  AggregatedDataset aggregated;
+};
+
+TEST(Explain, EvidenceSortedByAbsoluteWoe) {
+  const Fixture fx;
+  const Explanation out = explain(fx.scrubber, fx.aggregated, 0, 0);
+  ASSERT_GT(out.evidence.size(), 2u);
+  for (std::size_t i = 1; i < out.evidence.size(); ++i) {
+    EXPECT_GE(std::abs(out.evidence[i - 1].woe), std::abs(out.evidence[i].woe));
+  }
+}
+
+TEST(Explain, TopKLimitsEvidence) {
+  const Fixture fx;
+  const Explanation out = explain(fx.scrubber, fx.aggregated, 0, 3);
+  EXPECT_LE(out.evidence.size(), 3u);
+}
+
+TEST(Explain, PositiveRecordHasAttackEvidence) {
+  const Fixture fx;
+  for (std::size_t i = 0; i < fx.aggregated.size(); ++i) {
+    if (fx.aggregated.data.label(i) != 1 ||
+        !fx.aggregated.meta[i].dominant_vector.has_value())
+      continue;
+    const Explanation out = explain(fx.scrubber, fx.aggregated, i, 10);
+    // At least one top feature should argue for the attack.
+    bool any_positive = false;
+    for (const auto& e : out.evidence) any_positive |= e.points_to_attack();
+    EXPECT_TRUE(any_positive);
+    return;
+  }
+  GTEST_SKIP() << "no attack record in fixture trace";
+}
+
+TEST(Explain, MatchedRulesListedForTaggedRecords) {
+  const Fixture fx;
+  for (std::size_t i = 0; i < fx.aggregated.size(); ++i) {
+    if (fx.aggregated.meta[i].rule_tags.empty()) continue;
+    const Explanation out = explain(fx.scrubber, fx.aggregated, i, 5);
+    EXPECT_EQ(out.matched_rules.size(), fx.aggregated.meta[i].rule_tags.size());
+    EXPECT_FALSE(out.matched_rules[0].empty());
+    return;
+  }
+  GTEST_SKIP() << "no tagged record in fixture trace";
+}
+
+TEST(Explain, ToStringRendersAllParts) {
+  const Fixture fx;
+  const Explanation out = explain(fx.scrubber, fx.aggregated, 0, 5);
+  const std::string text = out.to_string();
+  EXPECT_NE(text.find("target "), std::string::npos);
+  EXPECT_NE(text.find("weight-of-evidence"), std::string::npos);
+  EXPECT_NE(text.find("WoE="), std::string::npos);
+}
+
+TEST(Explain, MetadataCopied) {
+  const Fixture fx;
+  const Explanation out = explain(fx.scrubber, fx.aggregated, 0, 5);
+  EXPECT_EQ(out.minute, fx.aggregated.meta[0].minute);
+  EXPECT_EQ(out.target, fx.aggregated.meta[0].target);
+}
+
+TEST(RenderRawValue, IpColumnsDottedQuad) {
+  EXPECT_EQ(render_raw_value("src_ip/bytes/0", 0x0A000001), "10.0.0.1");
+  EXPECT_EQ(render_raw_value("port_src/bytes/0", 123.0), "123");
+  EXPECT_EQ(render_raw_value("protocol/bytes/0", 17.0), "UDP");
+  EXPECT_EQ(render_raw_value("port_dst/packets/2", ml::kMissing), "(missing)");
+}
+
+}  // namespace
+}  // namespace scrubber::core

@@ -1,0 +1,136 @@
+#include "core/live_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowgen/generator.hpp"
+
+namespace scrubber::core {
+namespace {
+
+constexpr std::uint32_t kDay = 24 * 60;
+
+LiveDetectorConfig fast_config() {
+  LiveDetectorConfig config;
+  config.warmup_min = 12 * 60;          // half a day of data before training
+  config.retrain_interval_min = 12 * 60;
+  config.training_window_min = 2 * kDay;
+  return config;
+}
+
+TEST(LiveDetector, NotReadyBeforeWarmup) {
+  LiveDetector detector(fast_config(), nullptr);
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 1);
+  gen.generate_stream(0, 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+                      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+                        detector.ingest_minute(m, f);
+                      });
+  EXPECT_FALSE(detector.ready());
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_EQ(detector.minutes_processed(), 60u);
+}
+
+TEST(LiveDetector, TrainsAfterWarmupAndDetects) {
+  std::vector<Detection> detections;
+  LiveDetector detector(fast_config(),
+                        [&](const Detection& d) { detections.push_back(d); });
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 2);
+  gen.generate_stream(
+      0, 2 * kDay, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        detector.ingest_minute(m, f);
+      });
+  EXPECT_TRUE(detector.ready());
+  EXPECT_GE(detector.retrain_count(), 2u);
+  EXPECT_GT(detector.detections(), 0u);
+  EXPECT_EQ(detector.detections(), detections.size());
+
+  // Every detection respects the traffic threshold and carries a score.
+  for (const auto& d : detections) {
+    EXPECT_GE(d.flow_count, fast_config().min_flows_per_target);
+    EXPECT_GE(d.score, 0.5);
+    EXPECT_LE(d.score, 1.0);
+  }
+}
+
+TEST(LiveDetector, DetectionsAreOverwhelminglyRealAttacks) {
+  std::vector<Detection> detections;
+  LiveDetector detector(fast_config(),
+                        [&](const Detection& d) { detections.push_back(d); });
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 3);
+  gen.generate_stream(
+      0, 2 * kDay, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        detector.ingest_minute(m, f);
+      });
+  ASSERT_GT(detections.size(), 10u);
+  // Check detected targets against the attack schedule.
+  std::size_t matched = 0;
+  for (const auto& d : detections) {
+    for (const auto& attack : gen.attacks()) {
+      if (attack.victim == d.target && d.minute >= attack.start_minute &&
+          d.minute < attack.end_minute + 2) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  // Most detections coincide with a scheduled attack; the remainder are
+  // spurious-blackhole targets and model false positives.
+  EXPECT_GE(static_cast<double>(matched) / detections.size(), 0.8);
+}
+
+TEST(LiveDetector, WindowEvictionBoundsMemory) {
+  LiveDetectorConfig config = fast_config();
+  config.training_window_min = 6 * 60;  // six hours
+  LiveDetector detector(config, nullptr);
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 4);
+  std::size_t max_window = 0;
+  gen.generate_stream(
+      0, kDay, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        detector.ingest_minute(m, f);
+        max_window = std::max(max_window, detector.window_flows());
+      });
+  // The window holds at most ~6h of balanced flows; a full day would be
+  // roughly four times larger.
+  LiveDetector unbounded(fast_config(), nullptr);
+  flowgen::TrafficGenerator gen2(flowgen::ixp_us1(), 4);
+  gen2.generate_stream(
+      0, kDay, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        unbounded.ingest_minute(m, f);
+      });
+  EXPECT_LT(max_window, unbounded.window_flows());
+}
+
+TEST(LiveDetector, ForcedRetrainWorks) {
+  LiveDetector detector(fast_config(), nullptr);
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 5);
+  gen.generate_stream(
+      0, 14 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        detector.ingest_minute(m, f);
+      });
+  const auto before = detector.retrain_count();
+  detector.retrain(14 * 60);
+  EXPECT_EQ(detector.retrain_count(), before + 1);
+  EXPECT_TRUE(detector.ready());
+}
+
+TEST(LiveDetector, RulesAreCuratedAndAvailable) {
+  LiveDetector detector(fast_config(), nullptr);
+  flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 6);
+  gen.generate_stream(
+      0, 30 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+        detector.ingest_minute(m, f);
+      });
+  ASSERT_TRUE(detector.ready());
+  std::size_t accepted = 0;
+  for (const auto& rule : detector.scrubber().rules().rules())
+    accepted += (rule.status == arm::RuleStatus::kAccepted);
+  EXPECT_GT(accepted, 0u);
+}
+
+}  // namespace
+}  // namespace scrubber::core

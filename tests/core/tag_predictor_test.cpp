@@ -1,0 +1,100 @@
+#include "core/tag_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/balancer.hpp"
+#include "core/scrubber.hpp"
+#include "flowgen/generator.hpp"
+
+namespace scrubber::core {
+namespace {
+
+/// Shared fixture: tagged aggregates from a balanced day of IXP-US1.
+class TagPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state_ = new State();
+    flowgen::TrafficGenerator gen(flowgen::ixp_us1(), 31);
+    Balancer balancer(1);
+    gen.generate_stream(
+        0, 36 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+        [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+          balancer.add_minute(m, f);
+        });
+    const auto flows = balancer.take_balanced();
+    auto rules = state_->scrubber.mine_tagging_rules(flows);
+    accept_rules_above(rules, 0.9, 0.0, 3);
+    state_->scrubber.set_rules(std::move(rules));
+    const auto aggregated = state_->scrubber.aggregate(flows);
+    util::Rng rng(3);
+    const auto [train_idx, test_idx] = aggregated.data.split_indices(2.0 / 3.0, rng);
+    state_->train = aggregated.subset(train_idx);
+    state_->test = aggregated.subset(test_idx);
+    state_->predictor.fit(state_->train);
+  }
+  static void TearDownTestSuite() {
+    delete state_;
+    state_ = nullptr;
+  }
+
+  struct State {
+    IxpScrubber scrubber;
+    AggregatedDataset train;
+    AggregatedDataset test;
+    TagPredictor predictor;
+  };
+  static State* state_;
+};
+
+TagPredictorTest::State* TagPredictorTest::state_ = nullptr;
+
+TEST_F(TagPredictorTest, LearnsFrequentTags) {
+  EXPECT_TRUE(state_->predictor.trained());
+  EXPECT_GE(state_->predictor.learned_tags().size(), 3u);
+  EXPECT_LE(state_->predictor.learned_tags().size(), 16u);
+}
+
+TEST_F(TagPredictorTest, PredictedTagsAgreeWithMatching) {
+  const TagAgreement agreement = evaluate_tags(state_->predictor, state_->test);
+  EXPECT_GT(agreement.records, 100u);
+  EXPECT_GE(agreement.precision, 0.8) << "precision";
+  EXPECT_GE(agreement.recall, 0.8) << "recall";
+  EXPECT_GE(static_cast<double>(agreement.exact_set_matches) /
+                static_cast<double>(agreement.records),
+            0.6);
+}
+
+TEST_F(TagPredictorTest, UntaggedRecordsMostlyPredictEmpty) {
+  std::size_t untagged = 0, predicted_empty = 0;
+  for (std::size_t i = 0; i < state_->test.size(); ++i) {
+    if (!state_->test.meta[i].rule_tags.empty()) continue;
+    ++untagged;
+    predicted_empty += state_->predictor.predict(state_->test, i).empty();
+  }
+  ASSERT_GT(untagged, 20u);
+  EXPECT_GE(static_cast<double>(predicted_empty) / untagged, 0.85);
+}
+
+TEST_F(TagPredictorTest, PredictionsAreSortedAndLearned) {
+  const auto& learned = state_->predictor.learned_tags();
+  for (std::size_t i = 0; i < 50 && i < state_->test.size(); ++i) {
+    const auto predicted = state_->predictor.predict(state_->test, i);
+    EXPECT_TRUE(std::is_sorted(predicted.begin(), predicted.end()));
+    for (const auto tag : predicted) {
+      EXPECT_NE(std::find(learned.begin(), learned.end(), tag), learned.end());
+    }
+  }
+}
+
+TEST(TagPredictorConfig, MinPositiveFiltersRareTags) {
+  TagPredictor::Config config;
+  config.min_positive = 1000000;  // nothing is this frequent
+  TagPredictor predictor(config);
+  AggregatedDataset empty;
+  empty.data = ml::Dataset(Aggregator::schema());
+  predictor.fit(empty);
+  EXPECT_FALSE(predictor.trained());
+}
+
+}  // namespace
+}  // namespace scrubber::core

@@ -1,0 +1,171 @@
+// Integration tests exercising the full IXP Scrubber chain:
+//   traffic generation -> BGP blackholing -> online balancing ->
+//   rule mining/minimization/curation -> aggregation -> training ->
+//   classification -> explanation / ACL export -> model transfer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/acl.hpp"
+#include "core/balancer.hpp"
+#include "core/explain.hpp"
+#include "core/scrubber.hpp"
+#include "flowgen/generator.hpp"
+#include "ml/model_io.hpp"
+
+namespace scrubber {
+namespace {
+
+using flowgen::TrafficGenerator;
+
+std::vector<net::FlowRecord> balanced_day(const flowgen::IxpProfile& profile,
+                                          std::uint64_t seed,
+                                          std::uint32_t minutes = 24 * 60,
+                                          std::uint32_t start = 0) {
+  TrafficGenerator gen(profile, seed);
+  core::Balancer balancer(seed ^ 0xBA1);
+  gen.generate_stream(start, minutes,
+                      TrafficGenerator::Labeling::kBlackholeRegistry,
+                      [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+                        balancer.add_minute(m, f);
+                      });
+  return balancer.take_balanced();
+}
+
+TEST(EndToEnd, FullChainOnUs1) {
+  const auto flows = balanced_day(flowgen::ixp_us1(), 1001, 36 * 60);
+  ASSERT_GT(flows.size(), 1000u);
+
+  core::IxpScrubber scrubber;
+  auto rules = scrubber.mine_tagging_rules(flows);
+  ASSERT_GT(rules.size(), 5u);
+  core::accept_rules_above(rules, 0.9);
+  scrubber.set_rules(std::move(rules));
+
+  auto aggregated = scrubber.aggregate(flows);
+  util::Rng rng(2);
+  const auto [train_idx, test_idx] = aggregated.data.split_indices(2.0 / 3.0, rng);
+  const auto train = aggregated.subset(train_idx);
+  const auto test = aggregated.subset(test_idx);
+  scrubber.train(train);
+
+  const auto cm = scrubber.evaluate(test);
+  EXPECT_GE(cm.f_beta(0.5), 0.9) << cm.summary();
+
+  // Explanation works for an arbitrary test record.
+  const auto explanation = core::explain(scrubber, test, 0, 5);
+  EXPECT_FALSE(explanation.to_string().empty());
+
+  // ACL export produces at least one deny line.
+  const std::string acl = core::generate_acl(scrubber.rules());
+  EXPECT_NE(acl.find("deny"), std::string::npos);
+}
+
+TEST(EndToEnd, SelfAttackValidation) {
+  // Train on blackhole-labeled data, validate on ground-truth SAS (§6.1):
+  // the bias check — performance must carry over.
+  const auto train_flows = balanced_day(flowgen::ixp_us1(), 1002, 36 * 60);
+
+  TrafficGenerator sas_gen(flowgen::self_attack_profile(), 555);
+  core::Balancer sas_balancer(9);
+  sas_gen.generate_stream(0, 12 * 60, TrafficGenerator::Labeling::kGroundTruth,
+                          [&](std::uint32_t m, std::span<const net::FlowRecord> f) {
+                            sas_balancer.add_minute(m, f);
+                          });
+  const auto sas_flows = sas_balancer.take_balanced();
+  ASSERT_GT(sas_flows.size(), 500u);
+
+  core::IxpScrubber scrubber;
+  auto rules = scrubber.mine_tagging_rules(train_flows);
+  core::accept_rules_above(rules, 0.9);
+  scrubber.set_rules(std::move(rules));
+  scrubber.train(scrubber.aggregate(train_flows));
+
+  const auto sas_agg = scrubber.aggregate(sas_flows);
+  const auto cm = scrubber.evaluate(sas_agg);
+  EXPECT_GE(cm.f_beta(0.5), 0.85) << cm.summary();
+}
+
+TEST(EndToEnd, ClassifierTransferWithLocalWoe) {
+  // §6.4 Figure 12 (right): move the trained classifier between IXPs while
+  // keeping the receiving site's local WoE encoding.
+  const auto flows_a = balanced_day(flowgen::ixp_us1(), 1003, 36 * 60);
+  const auto flows_b = balanced_day(flowgen::ixp_se(), 1004, 36 * 60);
+
+  core::IxpScrubber site_a;
+  site_a.set_rules(arm::RuleSet{});
+  auto agg_a = site_a.aggregate(flows_a);
+  site_a.train(agg_a);
+
+  core::IxpScrubber site_b;
+  site_b.set_rules(arm::RuleSet{});
+  auto agg_b = site_b.aggregate(flows_b);
+  util::Rng rng(3);
+  const auto [train_idx, test_idx] = agg_b.data.split_indices(0.5, rng);
+  const auto train_b = agg_b.subset(train_idx);
+  const auto test_b = agg_b.subset(test_idx);
+  site_b.train(train_b);  // fits B's local WoE (and a local classifier)
+
+  // Serialize A's classifier, deserialize, swap into B's pipeline.
+  auto& gbt_a = dynamic_cast<ml::GradientBoostedTrees&>(site_a.pipeline().classifier());
+  const auto json = ml::gbt_to_json(gbt_a);
+  auto restored = ml::gbt_from_json(json);
+  site_b.pipeline().swap_classifier(std::move(restored));
+
+  const auto cm = site_b.evaluate(test_b);
+  EXPECT_GE(cm.f_beta(0.5), 0.85) << cm.summary();
+}
+
+TEST(EndToEnd, FlowsSurviveSerializationRoundTrip) {
+  // Balanced flows can be persisted and reloaded without changing the
+  // downstream aggregate dataset.
+  const auto flows = balanced_day(flowgen::ixp_ce2(), 1005, 24 * 60);
+  std::stringstream buffer;
+  net::write_flows(buffer, flows);
+  const auto restored = net::read_flows(buffer);
+  ASSERT_EQ(restored, flows);
+
+  core::Aggregator aggregator;
+  const auto a = aggregator.aggregate(flows);
+  const auto b = aggregator.aggregate(restored);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data.label(i), b.data.label(i));
+  }
+}
+
+TEST(EndToEnd, BgpFeedReplayLabelsIdentically) {
+  // Feeding the generator's BGP updates through wire encode/decode into a
+  // fresh registry must reproduce the flow labels exactly.
+  TrafficGenerator gen(flowgen::ixp_us2(), 1006);
+  const auto trace = gen.generate(0, 24 * 60);
+
+  bgp::BlackholeRegistry replayed;
+  for (const auto& [minute, update] : gen.updates()) {
+    replayed.apply(bgp::UpdateMessage::decode(update.encode()), minute);
+  }
+  for (const auto& flow : trace.flows) {
+    EXPECT_EQ(flow.blackholed, replayed.is_blackholed(flow.dst_ip, flow.minute));
+  }
+}
+
+TEST(EndToEnd, RuleSetExportImportKeepsTaggingBehavior) {
+  const auto flows = balanced_day(flowgen::ixp_us1(), 1007, 24 * 60);
+  core::IxpScrubber scrubber;
+  auto rules = scrubber.mine_tagging_rules(flows);
+  core::accept_rules_above(rules, 0.9);
+
+  const std::string json_text = rules.to_json().dump(2);
+  const arm::RuleSet reloaded = arm::RuleSet::from_json(util::Json::parse(json_text));
+  ASSERT_EQ(reloaded.size(), rules.size());
+
+  const arm::Itemizer itemizer;
+  for (std::size_t i = 0; i < 200 && i < flows.size(); ++i) {
+    EXPECT_EQ(rules.any_accepted_match(flows[i], itemizer),
+              reloaded.any_accepted_match(flows[i], itemizer));
+  }
+}
+
+}  // namespace
+}  // namespace scrubber

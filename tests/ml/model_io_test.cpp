@@ -1,0 +1,103 @@
+#include "ml/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+Dataset blobs(std::size_t n, std::uint64_t seed) {
+  Dataset data({{"x0", ColumnKind::kNumeric}, {"x1", ColumnKind::kNumeric}});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = rng.chance(0.5) ? 1 : 0;
+    const double row[2] = {rng.normal(y ? 2.0 : -2.0, 1.0), rng.normal()};
+    data.add_row(row, y);
+  }
+  return data;
+}
+
+TEST(ModelIo, GbtRoundTripThroughJsonText) {
+  const Dataset train = blobs(600, 1);
+  GradientBoostedTrees gbt;
+  gbt.fit(train);
+  // Serialize to text and back (full parse round trip, not just the tree).
+  const std::string text = gbt_to_json(gbt).dump();
+  const auto restored = gbt_from_json(util::Json::parse(text));
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(gbt.score(train.row(i)), restored->score(train.row(i)));
+  EXPECT_EQ(restored->tree_count(), gbt.tree_count());
+}
+
+TEST(ModelIo, GbtPreservesImportance) {
+  const Dataset train = blobs(600, 2);
+  GradientBoostedTrees gbt;
+  gbt.fit(train);
+  const auto restored = gbt_from_json(gbt_to_json(gbt));
+  const auto original_importance = gbt.gain_importance();
+  const auto restored_importance = restored->gain_importance();
+  ASSERT_EQ(original_importance.size(), restored_importance.size());
+  for (std::size_t i = 0; i < original_importance.size(); ++i) {
+    EXPECT_EQ(original_importance[i].feature, restored_importance[i].feature);
+    EXPECT_NEAR(original_importance[i].total_gain,
+                restored_importance[i].total_gain, 1e-6);
+  }
+}
+
+TEST(ModelIo, GbtRejectsWrongType) {
+  util::Json bogus;
+  bogus.set("type", util::Json("lsvm"));
+  EXPECT_THROW(gbt_from_json(bogus), util::JsonError);
+}
+
+TEST(ModelIo, LsvmRoundTrip) {
+  const Dataset train = blobs(600, 3);
+  LinearSvm svm;
+  svm.fit(train);
+  const std::string text = lsvm_to_json(svm).dump();
+  const auto restored = lsvm_from_json(util::Json::parse(text));
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_NEAR(svm.margin(train.row(i)), restored->margin(train.row(i)), 1e-9);
+}
+
+TEST(ModelIo, LsvmRejectsWrongType) {
+  util::Json bogus;
+  bogus.set("type", util::Json("gbt"));
+  EXPECT_THROW(lsvm_from_json(bogus), util::JsonError);
+}
+
+TEST(ModelIo, WoeRoundTrip) {
+  Dataset data({{"num", ColumnKind::kNumeric}, {"cat", ColumnKind::kCategorical}});
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2;
+    const double row[2] = {rng.normal(),
+                           static_cast<double>(y ? rng.below(5) : 5 + rng.below(5))};
+    data.add_row(row, y);
+  }
+  WoeEncoder encoder(0);
+  encoder.fit(data);
+  const std::string text = woe_to_json(encoder, data.n_cols()).dump();
+  const auto restored = woe_from_json(util::Json::parse(text));
+  EXPECT_FALSE(restored->encodes(0));
+  ASSERT_TRUE(restored->encodes(1));
+  for (std::int64_t v = 0; v < 12; ++v)
+    EXPECT_NEAR(encoder.column(1).encode(v), restored->column(1).encode(v), 1e-9);
+}
+
+TEST(ModelIo, WoeRejectsOutOfRangeIndex) {
+  util::Json bogus;
+  bogus.set("type", util::Json("woe"));
+  bogus.set("columns", util::Json(std::uint64_t{1}));
+  util::JsonArray tables;
+  util::Json entry;
+  entry.set("index", util::Json(std::uint64_t{5}));
+  entry.set("table", util::Json(util::JsonArray{}));
+  tables.push_back(std::move(entry));
+  bogus.set("tables", util::Json(std::move(tables)));
+  EXPECT_THROW(woe_from_json(bogus), util::JsonError);
+}
+
+}  // namespace
+}  // namespace scrubber::ml

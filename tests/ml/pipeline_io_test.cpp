@@ -1,0 +1,117 @@
+// Tests of whole-pipeline serialization (the deployable model file).
+
+#include <gtest/gtest.h>
+
+#include "ml/model_io.hpp"
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+Dataset mixed_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset data({{"num", ColumnKind::kNumeric},
+                {"cat", ColumnKind::kCategorical},
+                {"noise", ColumnKind::kNumeric}});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = rng.chance(0.5) ? 1 : 0;
+    double num = rng.normal(y ? 1.0 : -1.0, 1.0);
+    if (rng.chance(0.05)) num = kMissing;
+    const double cat = y ? static_cast<double>(rng.below(15))
+                         : static_cast<double>(8 + rng.below(15));
+    const double row[3] = {num, cat, rng.normal()};
+    data.add_row(row, y);
+  }
+  return data;
+}
+
+class PipelineIo : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(PipelineIo, RoundTripPreservesScores) {
+  const Dataset train = mixed_dataset(800, 3);
+  Pipeline pipeline = make_model_pipeline(GetParam(), 2);
+  pipeline.fit(train);
+
+  const std::string text = pipeline_to_json(pipeline, train.n_cols()).dump();
+  Pipeline restored = pipeline_from_json(util::Json::parse(text));
+
+  EXPECT_EQ(restored.describe(), pipeline.describe());
+  if (GetParam() == ModelKind::kDummy) return;  // stochastic scores
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(pipeline.score(train.row(i)), restored.score(train.row(i)), 1e-12)
+        << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SerializableModels, PipelineIo,
+                         ::testing::Values(ModelKind::kXgb,
+                                           ModelKind::kDecisionTree,
+                                           ModelKind::kLinearSvm,
+                                           ModelKind::kNeuralNet,
+                                           ModelKind::kNaiveBayesGaussian,
+                                           ModelKind::kDummy),
+                         [](const auto& info) {
+                           std::string name(model_kind_name(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PipelineIoDetail, DtRoundTrip) {
+  const Dataset train = mixed_dataset(500, 4);
+  DecisionTree dt;
+  dt.fit(train);
+  const auto restored = dt_from_json(util::Json::parse(dt_to_json(dt).dump()));
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(dt.score(train.row(i)), restored->score(train.row(i)));
+}
+
+TEST(PipelineIoDetail, NnRoundTrip) {
+  const Dataset train = mixed_dataset(300, 5);
+  NeuralNetParams params;
+  params.epochs = 5;
+  NeuralNet nn(params);
+  nn.fit(train);
+  const auto restored = nn_from_json(util::Json::parse(nn_to_json(nn).dump()));
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(nn.score(train.row(i)), restored->score(train.row(i)), 1e-12);
+}
+
+TEST(PipelineIoDetail, NbgRoundTrip) {
+  const Dataset train = mixed_dataset(300, 6);
+  GaussianNaiveBayes nb;
+  nb.fit(train);
+  const auto restored = nbg_from_json(util::Json::parse(nbg_to_json(nb).dump()));
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(nb.score(train.row(i)), restored->score(train.row(i)), 1e-12);
+}
+
+TEST(PipelineIoDetail, RejectsWrongDocumentType) {
+  util::Json bogus;
+  bogus.set("type", util::Json("gbt"));
+  EXPECT_THROW(pipeline_from_json(bogus), util::JsonError);
+}
+
+TEST(PipelineIoDetail, RejectsUnknownStage) {
+  util::Json doc;
+  doc.set("type", util::Json("pipeline"));
+  doc.set("columns", util::Json(std::uint64_t{2}));
+  util::Json stage;
+  stage.set("stage", util::Json("BOGUS"));
+  doc.set("stages", util::Json(util::JsonArray{stage}));
+  util::Json dum;
+  dum.set("type", util::Json("dum"));
+  doc.set("classifier", dum);
+  EXPECT_THROW(pipeline_from_json(doc), util::JsonError);
+}
+
+TEST(PipelineIoDetail, MultinomialNbUnsupported) {
+  const Dataset train = mixed_dataset(100, 7);
+  Pipeline pipeline = make_model_pipeline(ModelKind::kNaiveBayesMultinomial);
+  pipeline.fit(train);
+  EXPECT_THROW(pipeline_to_json(pipeline, train.n_cols()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scrubber::ml

@@ -1,0 +1,111 @@
+// Continuous-learning WoE: decay ("forgetting", §6.3) and in-place update.
+
+#include <gtest/gtest.h>
+
+#include "ml/woe.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+TEST(WoeDecay, ForgettingFlipsARepurposedValue) {
+  // A value observed only in the blackhole class, later repurposed as a
+  // legitimate host: with decay its WoE follows the new behavior.
+  WoeColumn column;
+  for (int i = 0; i < 100; ++i) column.observe(7, 1);
+  for (int i = 0; i < 100; ++i) column.observe(8, 0);
+  column.finalize();
+  EXPECT_GT(column.encode(7), 1.0);
+
+  // Three rounds of heavy decay; value 7 now appears benign while attack
+  // traffic continues on a different value (9).
+  for (int round = 0; round < 3; ++round) {
+    column.decay(0.3);
+    for (int i = 0; i < 100; ++i) column.observe(7, 0);
+    for (int i = 0; i < 100; ++i) column.observe(8, 0);
+    for (int i = 0; i < 100; ++i) column.observe(9, 1);
+    column.finalize();
+  }
+  EXPECT_LT(column.encode(7), 0.0);
+  EXPECT_GT(column.encode(9), 0.0);
+}
+
+TEST(WoeDecay, NoDecayAccumulatesForever) {
+  WoeColumn with_decay, without_decay;
+  for (int i = 0; i < 50; ++i) {
+    with_decay.observe(1, 1);
+    without_decay.observe(1, 1);
+    with_decay.observe(2, 0);
+    without_decay.observe(2, 0);
+  }
+  with_decay.decay(1.0);  // keep = 1 must be a no-op
+  with_decay.finalize();
+  without_decay.finalize();
+  EXPECT_DOUBLE_EQ(with_decay.encode(1), without_decay.encode(1));
+}
+
+TEST(WoeDecay, TinyCountsAreDropped) {
+  WoeColumn column;
+  column.observe(5, 1);
+  column.observe(6, 0);
+  for (int i = 0; i < 10; ++i) column.decay(0.3);  // 0.3^10 ~ 6e-6 < 0.01
+  column.finalize();
+  // Both values fully forgotten: neutral again.
+  EXPECT_DOUBLE_EQ(column.encode(5), 0.0);
+  EXPECT_DOUBLE_EQ(column.encode(6), 0.0);
+}
+
+Dataset categorical_rows(std::int64_t value, int label, std::size_t n) {
+  Dataset data({{"cat", ColumnKind::kCategorical}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double row[1] = {static_cast<double>(value)};
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+TEST(WoeEncoderUpdate, IncrementalObservationsShiftTables) {
+  Dataset initial = categorical_rows(100, 1, 20);
+  initial.append(categorical_rows(200, 0, 20));
+  WoeEncoder encoder(0);
+  encoder.fit(initial);
+  const double before = encoder.column(0).encode(100);
+  EXPECT_GT(before, 0.0);
+
+  // New week of data: value 100 now appears benign.
+  Dataset update_batch = categorical_rows(100, 0, 200);
+  update_batch.append(categorical_rows(300, 1, 200));
+  encoder.update(update_batch, /*keep=*/0.5);
+  EXPECT_LT(encoder.column(0).encode(100), before);
+  EXPECT_GT(encoder.column(0).encode(300), 0.0);  // new value learned
+}
+
+TEST(WoeEncoderUpdate, SchemaMismatchThrows) {
+  WoeEncoder encoder(0);
+  encoder.fit(categorical_rows(1, 1, 4));
+  Dataset wrong({{"a", ColumnKind::kCategorical}, {"b", ColumnKind::kNumeric}});
+  const double row[2] = {1.0, 2.0};
+  wrong.add_row(row, 1);
+  EXPECT_THROW(encoder.update(wrong), std::invalid_argument);
+}
+
+TEST(WoeEncoderUpdate, UpdateWithoutDecayIsPureAccumulation) {
+  Dataset first = categorical_rows(1, 1, 10);
+  first.append(categorical_rows(2, 0, 10));
+  Dataset second = categorical_rows(1, 1, 10);
+  second.append(categorical_rows(2, 0, 10));
+
+  WoeEncoder incremental(0);
+  incremental.fit(first);
+  incremental.update(second, 1.0);
+
+  Dataset merged = first;
+  merged.append(second);
+  WoeEncoder batch(0);
+  batch.fit(merged);
+
+  EXPECT_NEAR(incremental.column(0).encode(1), batch.column(0).encode(1), 1e-12);
+  EXPECT_NEAR(incremental.column(0).encode(2), batch.column(0).encode(2), 1e-12);
+}
+
+}  // namespace
+}  // namespace scrubber::ml

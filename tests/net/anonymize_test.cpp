@@ -1,0 +1,116 @@
+#include "net/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace scrubber::net {
+namespace {
+
+TEST(Anonymizer, DeterministicForSalt) {
+  const Anonymizer a(12345), b(12345);
+  const Ipv4Address ip = *Ipv4Address::parse("192.0.2.1");
+  EXPECT_EQ(a.anonymize(ip), b.anonymize(ip));
+}
+
+TEST(Anonymizer, DifferentSaltsDiffer) {
+  const Anonymizer a(1), b(2);
+  const Ipv4Address ip = *Ipv4Address::parse("192.0.2.1");
+  EXPECT_NE(a.anonymize(ip), b.anonymize(ip));
+}
+
+TEST(Anonymizer, OutputDiffersFromInput) {
+  const Anonymizer anon(99);
+  const Ipv4Address ip = *Ipv4Address::parse("192.0.2.1");
+  EXPECT_NE(anon.anonymize(ip), ip);
+}
+
+TEST(Anonymizer, InjectiveOnSample) {
+  const Anonymizer anon(7);
+  util::Rng rng(1);
+  std::set<std::uint32_t> outputs;
+  for (int i = 0; i < 100000; ++i) {
+    outputs.insert(anon.anonymize(Ipv4Address(static_cast<std::uint32_t>(rng()))).value());
+  }
+  EXPECT_GE(outputs.size(), 99990u);  // no meaningful collisions
+}
+
+TEST(Anonymizer, MemberIdsAnonymized) {
+  const Anonymizer anon(7);
+  EXPECT_EQ(anon.anonymize(MemberId{42}), anon.anonymize(MemberId{42}));
+  EXPECT_NE(anon.anonymize(MemberId{42}), anon.anonymize(MemberId{43}));
+  EXPECT_NE(anon.anonymize(MemberId{42}), MemberId{42});
+}
+
+TEST(Anonymizer, FlowFieldsAnonymized) {
+  const Anonymizer anon(7);
+  FlowRecord flow;
+  flow.src_ip = *Ipv4Address::parse("198.51.100.9");
+  flow.dst_ip = *Ipv4Address::parse("10.0.1.10");
+  flow.src_port = 123;
+  flow.src_member = 42;
+  flow.bytes = 1000;
+  const FlowRecord original = flow;
+  anon.anonymize(flow);
+  EXPECT_NE(flow.src_ip, original.src_ip);
+  EXPECT_NE(flow.dst_ip, original.dst_ip);
+  EXPECT_NE(flow.src_member, original.src_member);
+  // Non-identifying fields are untouched (ports carry the DDoS signal!).
+  EXPECT_EQ(flow.src_port, original.src_port);
+  EXPECT_EQ(flow.bytes, original.bytes);
+}
+
+TEST(Anonymizer, PrefixPreservingKeepsSharedPrefixes) {
+  const Anonymizer anon(31337, Anonymizer::Mode::kPrefixPreserving);
+  // Two addresses in the same /24 share exactly a 24-bit anonymized prefix.
+  const auto a = anon.anonymize(*Ipv4Address::parse("203.0.113.5"));
+  const auto b = anon.anonymize(*Ipv4Address::parse("203.0.113.77"));
+  const auto c = anon.anonymize(*Ipv4Address::parse("203.0.112.5"));
+  EXPECT_EQ(a.value() >> 8, b.value() >> 8);
+  EXPECT_NE(a, b);
+  // 203.0.112.0/23 contains both .112 and .113: exactly 23 shared bits.
+  EXPECT_EQ(a.value() >> 9, c.value() >> 9);
+  EXPECT_NE(a.value() >> 8, c.value() >> 8);
+}
+
+TEST(Anonymizer, PrefixPreservingKeepsLpmSemantics) {
+  // Property: blackhole labeling via LPM gives the same answer on
+  // anonymized prefixes + anonymized addresses.
+  const Anonymizer anon(5150, Anonymizer::Mode::kPrefixPreserving);
+  util::Rng rng(2);
+  PrefixTrie<int> plain, anonymized;
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4Address base(static_cast<std::uint32_t>(rng()));
+    const auto length = static_cast<std::uint8_t>(rng.range(8, 32));
+    const Ipv4Prefix prefix(base, length);
+    plain.insert(prefix, i);
+    // Anonymize the prefix by anonymizing its base address: prefix
+    // preservation guarantees host bits do not disturb the network part.
+    anonymized.insert(Ipv4Prefix(anon.anonymize(prefix.address()), length), i);
+  }
+  for (int q = 0; q < 5000; ++q) {
+    const Ipv4Address probe(static_cast<std::uint32_t>(rng()));
+    const int* plain_match = plain.match(probe);
+    const int* anon_match = anonymized.match(anon.anonymize(probe));
+    if (plain_match == nullptr) {
+      EXPECT_EQ(anon_match, nullptr);
+    } else {
+      ASSERT_NE(anon_match, nullptr);
+      EXPECT_EQ(*plain_match, *anon_match);
+    }
+  }
+}
+
+TEST(Anonymizer, HashModeDoesNotPreservePrefixes) {
+  const Anonymizer anon(31337, Anonymizer::Mode::kHash);
+  const auto a = anon.anonymize(*Ipv4Address::parse("203.0.113.5"));
+  const auto b = anon.anonymize(*Ipv4Address::parse("203.0.113.77"));
+  EXPECT_NE(a.value() >> 8, b.value() >> 8);  // astronomically unlikely
+}
+
+}  // namespace
+}  // namespace scrubber::net

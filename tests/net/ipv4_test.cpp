@@ -1,0 +1,112 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace scrubber::net {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0000201u);
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+}
+
+TEST(Ipv4Address, RoundTrip) {
+  for (const char* text : {"10.0.0.1", "172.16.254.3", "8.8.8.8"}) {
+    EXPECT_EQ(Ipv4Address::parse(text)->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, FromOctets) {
+  EXPECT_EQ(Ipv4Address::from_octets(10, 20, 30, 40).to_string(), "10.20.30.40");
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(*Ipv4Address::parse("10.0.0.1"), Ipv4Address(0x0A000001));
+}
+
+TEST(Ipv4Address, Hashable) {
+  std::unordered_set<Ipv4Address> set;
+  set.insert(Ipv4Address(1));
+  set.insert(Ipv4Address(1));
+  set.insert(Ipv4Address(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  const Ipv4Prefix p(*Ipv4Address::parse("192.0.2.77"), 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Ipv4Prefix, ClampsLength) {
+  const Ipv4Prefix p(Ipv4Address(0xFFFFFFFF), 40);
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix p(Ipv4Address(0x12345678), 0);
+  EXPECT_EQ(p.address().value(), 0u);
+  EXPECT_TRUE(p.contains(Ipv4Address(0)));
+  EXPECT_TRUE(p.contains(Ipv4Address(0xFFFFFFFF)));
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const auto p = Ipv4Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->contains(*Ipv4Address::parse("10.1.255.1")));
+  EXPECT_FALSE(p->contains(*Ipv4Address::parse("10.2.0.1")));
+}
+
+TEST(Ipv4Prefix, Covers) {
+  const auto p16 = Ipv4Prefix::parse("10.1.0.0/16");
+  const auto p24 = Ipv4Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p16->covers(*p24));
+  EXPECT_FALSE(p24->covers(*p16));
+  EXPECT_TRUE(p16->covers(*p16));
+}
+
+TEST(Ipv4Prefix, ParseBareAddressIsHostRoute) {
+  const auto p = Ipv4Prefix::parse("192.0.2.1");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->to_string(), "192.0.2.1/32");
+}
+
+TEST(Ipv4Prefix, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/8x"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/8"));
+}
+
+TEST(Ipv4Prefix, HostFactory) {
+  const auto host = Ipv4Prefix::host(*Ipv4Address::parse("1.2.3.4"));
+  EXPECT_EQ(host.to_string(), "1.2.3.4/32");
+  EXPECT_TRUE(host.contains(*Ipv4Address::parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(*Ipv4Address::parse("1.2.3.5")));
+}
+
+TEST(Ipv4Prefix, MaskValues) {
+  EXPECT_EQ(Ipv4Prefix::parse("0.0.0.0/0")->mask(), 0u);
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/8")->mask(), 0xFF000000u);
+  EXPECT_EQ(Ipv4Prefix::parse("1.2.3.4/32")->mask(), 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace scrubber::net

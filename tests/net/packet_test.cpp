@@ -1,0 +1,131 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scrubber::net {
+namespace {
+
+PacketHeader make_packet(std::uint64_t ts_ms, std::uint32_t src,
+                         std::uint16_t src_port, std::uint16_t length = 468) {
+  PacketHeader p;
+  p.timestamp_ms = ts_ms;
+  p.src_ip = Ipv4Address(src);
+  p.dst_ip = Ipv4Address(0x0A000001);
+  p.src_port = src_port;
+  p.dst_port = 44000;
+  p.protocol = 17;
+  p.length = length;
+  p.ingress_member = 7;
+  return p;
+}
+
+TEST(PacketSampler, RateOneKeepsEverything) {
+  PacketSampler sampler(1, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.sample());
+  EXPECT_EQ(sampler.sampled(), 100u);
+  EXPECT_EQ(sampler.seen(), 100u);
+}
+
+TEST(PacketSampler, RateZeroTreatedAsOne) {
+  PacketSampler sampler(0, 42);
+  EXPECT_EQ(sampler.rate(), 1u);
+  EXPECT_TRUE(sampler.sample());
+}
+
+TEST(PacketSampler, MeanSamplingRateApproximatesN) {
+  PacketSampler sampler(100, 7);
+  const int packets = 2000000;
+  for (int i = 0; i < packets; ++i) (void)sampler.sample();
+  const double effective =
+      static_cast<double>(sampler.seen()) / static_cast<double>(sampler.sampled());
+  EXPECT_NEAR(effective, 100.0, 5.0);
+}
+
+TEST(PacketSampler, DeterministicForSeed) {
+  PacketSampler a(10, 3), b(10, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(FlowCache, AggregatesSameKey) {
+  FlowCache cache(1);
+  cache.add(make_packet(60'000, 1, 123, 400));
+  cache.add(make_packet(61'000, 1, 123, 500));  // same minute (1), same key
+  EXPECT_EQ(cache.active_flows(), 1u);
+  const auto flows = cache.drain_all();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(flows[0].bytes, 900u);
+  EXPECT_EQ(flows[0].minute, 1u);
+  EXPECT_DOUBLE_EQ(flows[0].mean_packet_size(), 450.0);
+}
+
+TEST(FlowCache, SeparatesMinutes) {
+  FlowCache cache(1);
+  cache.add(make_packet(30'000, 1, 123));   // minute 0
+  cache.add(make_packet(90'000, 1, 123));   // minute 1
+  EXPECT_EQ(cache.active_flows(), 2u);
+  const auto old_flows = cache.drain_before(1);
+  ASSERT_EQ(old_flows.size(), 1u);
+  EXPECT_EQ(old_flows[0].minute, 0u);
+  EXPECT_EQ(cache.active_flows(), 1u);
+}
+
+TEST(FlowCache, SeparatesDistinctKeys) {
+  FlowCache cache(1);
+  cache.add(make_packet(0, 1, 123));
+  cache.add(make_packet(0, 2, 123));  // different src ip
+  cache.add(make_packet(0, 1, 53));   // different src port
+  EXPECT_EQ(cache.active_flows(), 3u);
+}
+
+TEST(FlowCache, ScalesBySamplingRate) {
+  FlowCache cache(100);
+  cache.add(make_packet(0, 1, 123, 468));
+  const auto flows = cache.drain_all();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 100u);
+  EXPECT_EQ(flows[0].bytes, 46800u);
+  // Mean packet size survives scaling.
+  EXPECT_DOUBLE_EQ(flows[0].mean_packet_size(), 468.0);
+}
+
+TEST(FlowCache, TcpFlagsAccumulateWithOr) {
+  FlowCache cache(1);
+  PacketHeader syn = make_packet(0, 1, 123);
+  syn.protocol = 6;
+  syn.tcp_flags = 0x02;
+  PacketHeader ack = syn;
+  ack.tcp_flags = 0x10;
+  cache.add(syn);
+  cache.add(ack);
+  const auto flows = cache.drain_all();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].tcp_flags, 0x12);
+}
+
+TEST(FlowCache, DrainOrderDeterministic) {
+  FlowCache a(1), b(1);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    a.add(make_packet(0, i, 123));
+    b.add(make_packet(0, i, 123));
+  }
+  EXPECT_EQ(a.drain_all(), b.drain_all());
+}
+
+TEST(FlowCache, FieldsCopiedThrough) {
+  FlowCache cache(2);
+  const PacketHeader p = make_packet(120'000, 99, 123);
+  cache.add(p);
+  const auto flows = cache.drain_all();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].src_ip.value(), 99u);
+  EXPECT_EQ(flows[0].dst_ip, p.dst_ip);
+  EXPECT_EQ(flows[0].src_port, 123);
+  EXPECT_EQ(flows[0].dst_port, 44000);
+  EXPECT_EQ(flows[0].protocol, 17);
+  EXPECT_EQ(flows[0].src_member, 7u);
+  EXPECT_EQ(flows[0].minute, 2u);
+}
+
+}  // namespace
+}  // namespace scrubber::net
