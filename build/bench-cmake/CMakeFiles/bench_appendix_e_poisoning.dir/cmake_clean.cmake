@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_e_poisoning"
+  "../bench/bench_appendix_e_poisoning.pdb"
+  "CMakeFiles/bench_appendix_e_poisoning.dir/appendix_e_poisoning.cpp.o"
+  "CMakeFiles/bench_appendix_e_poisoning.dir/appendix_e_poisoning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_e_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_temporal"
+  "../bench/bench_fig11_temporal.pdb"
+  "CMakeFiles/bench_fig11_temporal.dir/fig11_temporal.cpp.o"
+  "CMakeFiles/bench_fig11_temporal.dir/fig11_temporal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_geo"
+  "../bench/bench_fig12_geo.pdb"
+  "CMakeFiles/bench_fig12_geo.dir/fig12_geo.cpp.o"
+  "CMakeFiles/bench_fig12_geo.dir/fig12_geo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

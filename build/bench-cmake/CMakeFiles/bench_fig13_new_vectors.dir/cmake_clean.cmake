@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_new_vectors"
+  "../bench/bench_fig13_new_vectors.pdb"
+  "CMakeFiles/bench_fig13_new_vectors.dir/fig13_new_vectors.cpp.o"
+  "CMakeFiles/bench_fig13_new_vectors.dir/fig13_new_vectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_new_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

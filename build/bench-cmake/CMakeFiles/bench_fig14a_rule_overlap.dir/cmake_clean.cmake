@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14a_rule_overlap"
+  "../bench/bench_fig14a_rule_overlap.pdb"
+  "CMakeFiles/bench_fig14a_rule_overlap.dir/fig14a_rule_overlap.cpp.o"
+  "CMakeFiles/bench_fig14a_rule_overlap.dir/fig14a_rule_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14a_rule_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

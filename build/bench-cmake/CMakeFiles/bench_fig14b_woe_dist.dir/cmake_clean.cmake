@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14b_woe_dist"
+  "../bench/bench_fig14b_woe_dist.pdb"
+  "CMakeFiles/bench_fig14b_woe_dist.dir/fig14b_woe_dist.cpp.o"
+  "CMakeFiles/bench_fig14b_woe_dist.dir/fig14b_woe_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_woe_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

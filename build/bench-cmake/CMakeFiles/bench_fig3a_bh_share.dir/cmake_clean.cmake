@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3a_bh_share"
+  "../bench/bench_fig3a_bh_share.pdb"
+  "CMakeFiles/bench_fig3a_bh_share.dir/fig3a_bh_share.cpp.o"
+  "CMakeFiles/bench_fig3a_bh_share.dir/fig3a_bh_share.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_bh_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

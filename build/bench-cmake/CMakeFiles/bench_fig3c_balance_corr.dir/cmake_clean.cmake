@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3c_balance_corr"
+  "../bench/bench_fig3c_balance_corr.pdb"
+  "CMakeFiles/bench_fig3c_balance_corr.dir/fig3c_balance_corr.cpp.o"
+  "CMakeFiles/bench_fig3c_balance_corr.dir/fig3c_balance_corr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_balance_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

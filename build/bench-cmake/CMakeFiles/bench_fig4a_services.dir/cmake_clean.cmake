@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_services"
+  "../bench/bench_fig4a_services.pdb"
+  "CMakeFiles/bench_fig4a_services.dir/fig4a_services.cpp.o"
+  "CMakeFiles/bench_fig4a_services.dir/fig4a_services.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

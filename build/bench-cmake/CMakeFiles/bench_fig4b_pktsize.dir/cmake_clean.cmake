@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_pktsize"
+  "../bench/bench_fig4b_pktsize.pdb"
+  "CMakeFiles/bench_fig4b_pktsize.dir/fig4b_pktsize.cpp.o"
+  "CMakeFiles/bench_fig4b_pktsize.dir/fig4b_pktsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_pktsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

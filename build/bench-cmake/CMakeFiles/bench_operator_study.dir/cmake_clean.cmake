@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_operator_study"
+  "../bench/bench_operator_study.pdb"
+  "CMakeFiles/bench_operator_study.dir/operator_study.cpp.o"
+  "CMakeFiles/bench_operator_study.dir/operator_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rules_minimization"
+  "../bench/bench_rules_minimization.pdb"
+  "CMakeFiles/bench_rules_minimization.dir/rules_minimization.cpp.o"
+  "CMakeFiles/bench_rules_minimization.dir/rules_minimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rules_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_gridsearch"
+  "../bench/bench_table4_gridsearch.pdb"
+  "CMakeFiles/bench_table4_gridsearch.dir/table4_gridsearch.cpp.o"
+  "CMakeFiles/bench_table4_gridsearch.dir/table4_gridsearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tag_prediction.cpp" "bench-cmake/CMakeFiles/bench_tag_prediction.dir/tag_prediction.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_tag_prediction.dir/tag_prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scrubber_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/scrubber_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/scrubber_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scrubber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/scrubber_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tag_prediction"
+  "../bench/bench_tag_prediction.pdb"
+  "CMakeFiles/bench_tag_prediction.dir/tag_prediction.cpp.o"
+  "CMakeFiles/bench_tag_prediction.dir/tag_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tag_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_detection.dir/live_detection.cpp.o"
+  "CMakeFiles/live_detection.dir/live_detection.cpp.o.d"
+  "live_detection"
+  "live_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_transfer.dir/model_transfer.cpp.o"
+  "CMakeFiles/model_transfer.dir/model_transfer.cpp.o.d"
+  "model_transfer"
+  "model_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

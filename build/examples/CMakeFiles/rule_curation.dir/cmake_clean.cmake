@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_curation.dir/rule_curation.cpp.o"
+  "CMakeFiles/rule_curation.dir/rule_curation.cpp.o.d"
+  "rule_curation"
+  "rule_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

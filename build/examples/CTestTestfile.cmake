@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/usr/bin/cmake" "-E" "env" "bash" "-c" "cd \$(mktemp -d) && /root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_detection "/usr/bin/cmake" "-E" "env" "bash" "-c" "cd \$(mktemp -d) && /root/repo/build/examples/live_detection")
+set_tests_properties(example_live_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_transfer "/usr/bin/cmake" "-E" "env" "bash" "-c" "cd \$(mktemp -d) && /root/repo/build/examples/model_transfer")
+set_tests_properties(example_model_transfer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rule_curation "/usr/bin/cmake" "-E" "env" "bash" "-c" "cd \$(mktemp -d) && /root/repo/build/examples/rule_curation")
+set_tests_properties(example_rule_curation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

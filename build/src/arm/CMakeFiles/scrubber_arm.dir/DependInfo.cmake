@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm/fpgrowth.cpp" "src/arm/CMakeFiles/scrubber_arm.dir/fpgrowth.cpp.o" "gcc" "src/arm/CMakeFiles/scrubber_arm.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/arm/item.cpp" "src/arm/CMakeFiles/scrubber_arm.dir/item.cpp.o" "gcc" "src/arm/CMakeFiles/scrubber_arm.dir/item.cpp.o.d"
+  "/root/repo/src/arm/rules.cpp" "src/arm/CMakeFiles/scrubber_arm.dir/rules.cpp.o" "gcc" "src/arm/CMakeFiles/scrubber_arm.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_arm.dir/fpgrowth.cpp.o"
+  "CMakeFiles/scrubber_arm.dir/fpgrowth.cpp.o.d"
+  "CMakeFiles/scrubber_arm.dir/item.cpp.o"
+  "CMakeFiles/scrubber_arm.dir/item.cpp.o.d"
+  "CMakeFiles/scrubber_arm.dir/rules.cpp.o"
+  "CMakeFiles/scrubber_arm.dir/rules.cpp.o.d"
+  "libscrubber_arm.a"
+  "libscrubber_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

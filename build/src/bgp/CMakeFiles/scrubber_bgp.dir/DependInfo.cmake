@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/blackhole_registry.cpp" "src/bgp/CMakeFiles/scrubber_bgp.dir/blackhole_registry.cpp.o" "gcc" "src/bgp/CMakeFiles/scrubber_bgp.dir/blackhole_registry.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/scrubber_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/scrubber_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/scrubber_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/scrubber_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/bgp/CMakeFiles/scrubber_bgp.dir/session.cpp.o" "gcc" "src/bgp/CMakeFiles/scrubber_bgp.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

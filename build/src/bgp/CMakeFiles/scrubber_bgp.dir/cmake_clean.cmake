@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_bgp.dir/blackhole_registry.cpp.o"
+  "CMakeFiles/scrubber_bgp.dir/blackhole_registry.cpp.o.d"
+  "CMakeFiles/scrubber_bgp.dir/message.cpp.o"
+  "CMakeFiles/scrubber_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/scrubber_bgp.dir/rib.cpp.o"
+  "CMakeFiles/scrubber_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/scrubber_bgp.dir/session.cpp.o"
+  "CMakeFiles/scrubber_bgp.dir/session.cpp.o.d"
+  "libscrubber_bgp.a"
+  "libscrubber_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

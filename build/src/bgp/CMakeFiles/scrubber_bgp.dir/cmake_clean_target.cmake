@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscrubber_bgp.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acl.cpp" "src/core/CMakeFiles/scrubber_core.dir/acl.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/acl.cpp.o.d"
+  "/root/repo/src/core/aggregator.cpp" "src/core/CMakeFiles/scrubber_core.dir/aggregator.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/aggregator.cpp.o.d"
+  "/root/repo/src/core/balancer.cpp" "src/core/CMakeFiles/scrubber_core.dir/balancer.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/balancer.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/scrubber_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/scrubber_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/live_detector.cpp" "src/core/CMakeFiles/scrubber_core.dir/live_detector.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/live_detector.cpp.o.d"
+  "/root/repo/src/core/scrubber.cpp" "src/core/CMakeFiles/scrubber_core.dir/scrubber.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/scrubber.cpp.o.d"
+  "/root/repo/src/core/tag_predictor.cpp" "src/core/CMakeFiles/scrubber_core.dir/tag_predictor.cpp.o" "gcc" "src/core/CMakeFiles/scrubber_core.dir/tag_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/scrubber_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scrubber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/scrubber_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_core.dir/acl.cpp.o"
+  "CMakeFiles/scrubber_core.dir/acl.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/aggregator.cpp.o"
+  "CMakeFiles/scrubber_core.dir/aggregator.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/balancer.cpp.o"
+  "CMakeFiles/scrubber_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/collector.cpp.o"
+  "CMakeFiles/scrubber_core.dir/collector.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/explain.cpp.o"
+  "CMakeFiles/scrubber_core.dir/explain.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/live_detector.cpp.o"
+  "CMakeFiles/scrubber_core.dir/live_detector.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/scrubber.cpp.o"
+  "CMakeFiles/scrubber_core.dir/scrubber.cpp.o.d"
+  "CMakeFiles/scrubber_core.dir/tag_predictor.cpp.o"
+  "CMakeFiles/scrubber_core.dir/tag_predictor.cpp.o.d"
+  "libscrubber_core.a"
+  "libscrubber_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowgen/generator.cpp" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/generator.cpp.o" "gcc" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/generator.cpp.o.d"
+  "/root/repo/src/flowgen/profile.cpp" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/profile.cpp.o" "gcc" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/profile.cpp.o.d"
+  "/root/repo/src/flowgen/vectors.cpp" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/vectors.cpp.o" "gcc" "src/flowgen/CMakeFiles/scrubber_flowgen.dir/vectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/scrubber_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_flowgen.dir/generator.cpp.o"
+  "CMakeFiles/scrubber_flowgen.dir/generator.cpp.o.d"
+  "CMakeFiles/scrubber_flowgen.dir/profile.cpp.o"
+  "CMakeFiles/scrubber_flowgen.dir/profile.cpp.o.d"
+  "CMakeFiles/scrubber_flowgen.dir/vectors.cpp.o"
+  "CMakeFiles/scrubber_flowgen.dir/vectors.cpp.o.d"
+  "libscrubber_flowgen.a"
+  "libscrubber_flowgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/gbt.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/model_io.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/model_io.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/neural_net.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/neural_net.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/neural_net.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/pipeline.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/pipeline.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ml/preprocess.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/preprocess.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/preprocess.cpp.o.d"
+  "/root/repo/src/ml/woe.cpp" "src/ml/CMakeFiles/scrubber_ml.dir/woe.cpp.o" "gcc" "src/ml/CMakeFiles/scrubber_ml.dir/woe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

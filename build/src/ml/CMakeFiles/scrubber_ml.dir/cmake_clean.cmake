@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_ml.dir/dataset.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/gbt.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/grid_search.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/grid_search.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/linear.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/metrics.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/model_io.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/model_io.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/neural_net.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/neural_net.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/pca.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/pipeline.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/pipeline.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/scrubber_ml.dir/woe.cpp.o"
+  "CMakeFiles/scrubber_ml.dir/woe.cpp.o.d"
+  "libscrubber_ml.a"
+  "libscrubber_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

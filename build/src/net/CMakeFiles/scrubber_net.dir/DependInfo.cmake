@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/anonymize.cpp" "src/net/CMakeFiles/scrubber_net.dir/anonymize.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/anonymize.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/scrubber_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/scrubber_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/scrubber_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/protocols.cpp" "src/net/CMakeFiles/scrubber_net.dir/protocols.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/protocols.cpp.o.d"
+  "/root/repo/src/net/sflow.cpp" "src/net/CMakeFiles/scrubber_net.dir/sflow.cpp.o" "gcc" "src/net/CMakeFiles/scrubber_net.dir/sflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_net.dir/anonymize.cpp.o"
+  "CMakeFiles/scrubber_net.dir/anonymize.cpp.o.d"
+  "CMakeFiles/scrubber_net.dir/flow.cpp.o"
+  "CMakeFiles/scrubber_net.dir/flow.cpp.o.d"
+  "CMakeFiles/scrubber_net.dir/ipv4.cpp.o"
+  "CMakeFiles/scrubber_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/scrubber_net.dir/packet.cpp.o"
+  "CMakeFiles/scrubber_net.dir/packet.cpp.o.d"
+  "CMakeFiles/scrubber_net.dir/protocols.cpp.o"
+  "CMakeFiles/scrubber_net.dir/protocols.cpp.o.d"
+  "CMakeFiles/scrubber_net.dir/sflow.cpp.o"
+  "CMakeFiles/scrubber_net.dir/sflow.cpp.o.d"
+  "libscrubber_net.a"
+  "libscrubber_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_util.dir/json.cpp.o"
+  "CMakeFiles/scrubber_util.dir/json.cpp.o.d"
+  "CMakeFiles/scrubber_util.dir/rng.cpp.o"
+  "CMakeFiles/scrubber_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scrubber_util.dir/stats.cpp.o"
+  "CMakeFiles/scrubber_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scrubber_util.dir/table.cpp.o"
+  "CMakeFiles/scrubber_util.dir/table.cpp.o.d"
+  "libscrubber_util.a"
+  "libscrubber_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

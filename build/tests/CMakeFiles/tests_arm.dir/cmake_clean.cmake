@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_arm.dir/arm/fpgrowth_test.cpp.o"
+  "CMakeFiles/tests_arm.dir/arm/fpgrowth_test.cpp.o.d"
+  "CMakeFiles/tests_arm.dir/arm/item_test.cpp.o"
+  "CMakeFiles/tests_arm.dir/arm/item_test.cpp.o.d"
+  "CMakeFiles/tests_arm.dir/arm/rules_test.cpp.o"
+  "CMakeFiles/tests_arm.dir/arm/rules_test.cpp.o.d"
+  "tests_arm"
+  "tests_arm.pdb"
+  "tests_arm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bgp.dir/bgp/blackhole_registry_test.cpp.o"
+  "CMakeFiles/tests_bgp.dir/bgp/blackhole_registry_test.cpp.o.d"
+  "CMakeFiles/tests_bgp.dir/bgp/message_test.cpp.o"
+  "CMakeFiles/tests_bgp.dir/bgp/message_test.cpp.o.d"
+  "CMakeFiles/tests_bgp.dir/bgp/rib_test.cpp.o"
+  "CMakeFiles/tests_bgp.dir/bgp/rib_test.cpp.o.d"
+  "CMakeFiles/tests_bgp.dir/bgp/session_test.cpp.o"
+  "CMakeFiles/tests_bgp.dir/bgp/session_test.cpp.o.d"
+  "tests_bgp"
+  "tests_bgp.pdb"
+  "tests_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

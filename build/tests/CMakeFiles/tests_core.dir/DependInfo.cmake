@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/acl_test.cpp" "tests/CMakeFiles/tests_core.dir/core/acl_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/acl_test.cpp.o.d"
+  "/root/repo/tests/core/aggregator_test.cpp" "tests/CMakeFiles/tests_core.dir/core/aggregator_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/aggregator_test.cpp.o.d"
+  "/root/repo/tests/core/balancer_test.cpp" "tests/CMakeFiles/tests_core.dir/core/balancer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/balancer_test.cpp.o.d"
+  "/root/repo/tests/core/collector_test.cpp" "tests/CMakeFiles/tests_core.dir/core/collector_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/collector_test.cpp.o.d"
+  "/root/repo/tests/core/explain_test.cpp" "tests/CMakeFiles/tests_core.dir/core/explain_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/explain_test.cpp.o.d"
+  "/root/repo/tests/core/live_detector_test.cpp" "tests/CMakeFiles/tests_core.dir/core/live_detector_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/live_detector_test.cpp.o.d"
+  "/root/repo/tests/core/scrubber_test.cpp" "tests/CMakeFiles/tests_core.dir/core/scrubber_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/scrubber_test.cpp.o.d"
+  "/root/repo/tests/core/tag_predictor_test.cpp" "tests/CMakeFiles/tests_core.dir/core/tag_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/tag_predictor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scrubber_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/scrubber_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/scrubber_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scrubber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/scrubber_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/acl_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/acl_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/aggregator_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/aggregator_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/balancer_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/balancer_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/collector_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/collector_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/explain_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/explain_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/live_detector_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/live_detector_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/scrubber_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/scrubber_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/tag_predictor_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/tag_predictor_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

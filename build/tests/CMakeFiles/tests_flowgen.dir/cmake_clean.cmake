@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_flowgen.dir/flowgen/generator_test.cpp.o"
+  "CMakeFiles/tests_flowgen.dir/flowgen/generator_test.cpp.o.d"
+  "CMakeFiles/tests_flowgen.dir/flowgen/vectors_test.cpp.o"
+  "CMakeFiles/tests_flowgen.dir/flowgen/vectors_test.cpp.o.d"
+  "tests_flowgen"
+  "tests_flowgen.pdb"
+  "tests_flowgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

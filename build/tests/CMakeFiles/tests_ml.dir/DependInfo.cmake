@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifiers_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/classifiers_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/classifiers_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/grid_search_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/grid_search_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/grid_search_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_auc_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/metrics_auc_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/metrics_auc_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/model_io_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o.d"
+  "/root/repo/tests/ml/pca_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/pca_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/pca_test.cpp.o.d"
+  "/root/repo/tests/ml/pipeline_io_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/pipeline_io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/pipeline_io_test.cpp.o.d"
+  "/root/repo/tests/ml/pipeline_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/pipeline_test.cpp.o.d"
+  "/root/repo/tests/ml/preprocess_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/preprocess_test.cpp.o.d"
+  "/root/repo/tests/ml/woe_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/woe_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/woe_test.cpp.o.d"
+  "/root/repo/tests/ml/woe_update_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/woe_update_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/woe_update_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scrubber_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/scrubber_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/scrubber_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scrubber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/scrubber_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scrubber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scrubber_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

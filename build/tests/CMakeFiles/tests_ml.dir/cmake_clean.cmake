@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/ml/classifiers_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/classifiers_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/grid_search_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/grid_search_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/metrics_auc_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/metrics_auc_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/model_io_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/pca_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/pca_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/pipeline_io_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/pipeline_io_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/pipeline_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/pipeline_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/preprocess_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/preprocess_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/woe_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/woe_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/woe_update_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/woe_update_test.cpp.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+  "tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

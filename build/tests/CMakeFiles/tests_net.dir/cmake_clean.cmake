@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net.dir/net/anonymize_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/anonymize_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/flow_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/flow_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/packet_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/prefix_trie_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/protocols_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/protocols_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/sflow_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net/sflow_test.cpp.o.d"
+  "tests_net"
+  "tests_net.pdb"
+  "tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubberctl.dir/scrubberctl.cpp.o"
+  "CMakeFiles/scrubberctl.dir/scrubberctl.cpp.o.d"
+  "scrubberctl"
+  "scrubberctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubberctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(scrubberctl_workflow "/usr/bin/cmake" "-E" "env" "bash" "-c" "set -e; cd \$(mktemp -d);      /root/repo/build/tools/scrubberctl generate --out flows.bin --profile us2 --minutes 2880 --seed 7;      /root/repo/build/tools/scrubberctl mine --flows flows.bin --out rules.json --accept 0.9;      /root/repo/build/tools/scrubberctl train --flows flows.bin --rules rules.json --out model.json --model dt;      /root/repo/build/tools/scrubberctl classify --flows flows.bin --model model.json --rules rules.json;      /root/repo/build/tools/scrubberctl acl --rules rules.json | grep -q 'permit ip any any'")
+set_tests_properties(scrubberctl_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scrubberctl_usage "/usr/bin/cmake" "-E" "env" "bash" "-c" "! /root/repo/build/tools/scrubberctl bogus-command")
+set_tests_properties(scrubberctl_usage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
