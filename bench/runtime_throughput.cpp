@@ -1,0 +1,119 @@
+// Runtime throughput — end-to-end flows/sec of the sharded streaming
+// engine (decode → shard → collect → merge → score) at 1, 2, 4 and
+// hardware-concurrency shards on one seeded flowgen trace. This is the
+// scaling baseline for every future ingest-path PR; results land in
+// BENCH_runtime.json so the perf trajectory is machine-readable.
+//
+// Expectation (multi-core hosts): >= 2x flows/sec at 4 shards vs 1 shard.
+// On a single-core host the shard workers serialize and the ratio
+// degenerates to ~1x; the JSON records hardware_concurrency so trajectory
+// tooling can tell those runs apart.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "../bench/common.hpp"
+#include "core/collector.hpp"
+#include "runtime/engine.hpp"
+#include "util/json.hpp"
+
+int main() {
+  using namespace scrubber;
+  bench::print_header("Runtime", "sharded streaming-engine throughput");
+  bench::print_expectation(
+      ">= 2x flows/sec at 4 shards vs 1 shard on a multi-core host");
+
+  // One fixed trace for every configuration: a few hours of the mid-size
+  // IXP-SE feed, pre-expanded to sFlow datagrams so generation cost never
+  // pollutes the measurement.
+  constexpr std::uint32_t kMinutes = 360;
+  constexpr std::uint32_t kSampling = 4;
+  constexpr std::uint64_t kSeed = 1337;
+  flowgen::TrafficGenerator generator(flowgen::ixp_se(), kSeed);
+  const auto trace = generator.generate(0, kMinutes);
+  const auto datagrams = core::flows_to_datagrams(
+      trace.flows, kSampling, net::Ipv4Address(0x0AFF0001));
+  std::printf("trace: %zu flows, %zu datagrams, %zu BGP updates, %u min\n\n",
+              trace.flows.size(), datagrams.size(), trace.updates.size(),
+              kMinutes);
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  if (std::find(shard_counts.begin(), shard_counts.end(),
+                static_cast<std::size_t>(hardware)) == shard_counts.end()) {
+    shard_counts.push_back(hardware);
+  }
+
+  util::TextTable table;
+  table.set_header({"shards", "wall_s", "flows/s", "speedup_vs_1"});
+  util::JsonArray results;
+  double flows_per_sec_1 = 0.0;
+
+  for (const std::size_t shards : shard_counts) {
+    // Best of 3 repetitions: the engine is construct-push-finish per run,
+    // so scheduler noise shows up as slow outliers, not fast ones.
+    runtime::EngineSnapshot best;
+    for (int rep = 0; rep < 3; ++rep) {
+      runtime::EngineConfig config;
+      config.shards = shards;
+      config.queue_capacity = 4096;
+      config.backpressure = runtime::Backpressure::kBlock;
+      config.collector.sampling_rate = kSampling;
+      runtime::Engine engine(config, nullptr);
+      std::size_t next_update = 0;
+      for (const auto& datagram : datagrams) {
+        const auto minute =
+            static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
+        while (next_update < trace.updates.size() &&
+               trace.updates[next_update].first <= minute) {
+          engine.push_bgp(trace.updates[next_update].second,
+                          std::uint64_t{trace.updates[next_update].first} *
+                              60'000);
+          ++next_update;
+        }
+        engine.push(datagram);
+      }
+      engine.finish();
+      const runtime::EngineSnapshot snapshot = engine.stats();
+      if (rep == 0 || snapshot.flows_per_sec() > best.flows_per_sec()) {
+        best = snapshot;
+      }
+    }
+
+    if (shards == 1) flows_per_sec_1 = best.flows_per_sec();
+    const double speedup =
+        flows_per_sec_1 > 0.0 ? best.flows_per_sec() / flows_per_sec_1 : 0.0;
+    char wall[32], rate[32], ratio[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", best.wall_seconds);
+    std::snprintf(rate, sizeof(rate), "%.0f", best.flows_per_sec());
+    std::snprintf(ratio, sizeof(ratio), "%.2f", speedup);
+    table.add_row({std::to_string(shards), wall, rate, ratio});
+
+    util::Json row;
+    row.set("shards", static_cast<double>(shards));
+    row.set("wall_seconds", best.wall_seconds);
+    row.set("flows_per_sec", best.flows_per_sec());
+    row.set("flows", static_cast<double>(best.flows_out));
+    row.set("minutes", static_cast<double>(best.minutes_merged));
+    row.set("speedup_vs_1_shard", speedup);
+    results.push_back(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  util::Json out;
+  out.set("bench", "runtime_throughput");
+  out.set("profile", "IXP-SE");
+  out.set("trace_minutes", static_cast<double>(kMinutes));
+  out.set("sampling_rate", static_cast<double>(kSampling));
+  out.set("seed", static_cast<double>(kSeed));
+  out.set("hardware_concurrency", static_cast<double>(hardware));
+  out.set("results", std::move(results));
+  std::ofstream file("BENCH_runtime.json");
+  file << out.dump(2) << "\n";
+  std::printf("\nwrote BENCH_runtime.json (hardware_concurrency=%u)\n",
+              hardware);
+  return 0;
+}

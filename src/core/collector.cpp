@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace scrubber::core {
 
@@ -12,7 +13,28 @@ Collector::Collector(Config config, MinuteBatchSink sink)
   }
 }
 
+void Collector::check_not_in_flush(const char* what) const {
+  // MinuteBatchSink contract (see collector.hpp): the sink runs mid-drain
+  // and must not call back into the collector. Enforced unconditionally
+  // (not just an assert): the sharded runtime depends on it for memory
+  // safety, and release builds are where it would silently corrupt.
+  if (in_flush_) {
+    throw std::logic_error(std::string("core::Collector::") + what +
+                           " called from inside a MinuteBatchSink");
+  }
+}
+
 void Collector::flush_before(std::uint32_t minute) {
+  // Tolerate stale flush points: a shard whose time was advanced past the
+  // watermark by Collector::advance may later compute an older flush
+  // minute from its own traffic; closed minutes never reopen.
+  if (minute <= flushed_before_) return;
+  flushed_before_ = minute;
+  in_flush_ = true;
+  struct FlushGuard {
+    bool& flag;
+    ~FlushGuard() { flag = false; }
+  } guard{in_flush_};
   auto flows = cache_.drain_before(minute);
   if (flows.empty()) return;
   std::stable_sort(flows.begin(), flows.end(),
@@ -41,9 +63,17 @@ void Collector::flush_before(std::uint32_t minute) {
 }
 
 void Collector::ingest(const net::SflowDatagram& datagram) {
+  check_not_in_flush("ingest");
   ++datagrams_;
-  net::ingest_datagram(datagram, cache_);
   const auto minute = static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
+  if (minute < flushed_before_) {
+    // The bin this datagram belongs to was already emitted (the shard fell
+    // behind an externally advanced watermark); dropping keeps every
+    // minute batch emitted exactly once.
+    ++late_datagrams_;
+    return;
+  }
+  net::ingest_datagram(datagram, cache_);
   watermark_min_ = std::max(watermark_min_, minute);
   if (watermark_min_ > config_.reorder_slack_min) {
     flush_before(watermark_min_ - config_.reorder_slack_min);
@@ -56,10 +86,21 @@ void Collector::ingest_wire(const std::vector<std::uint8_t>& wire) {
 
 void Collector::ingest_bgp(const bgp::UpdateMessage& update,
                            std::uint64_t now_ms) {
+  check_not_in_flush("ingest_bgp");
   registry_.apply(update, static_cast<std::uint32_t>(now_ms / 60'000));
 }
 
+void Collector::advance(std::uint32_t minute) {
+  check_not_in_flush("advance");
+  if (minute <= watermark_min_) return;  // stale watermark: no-op
+  watermark_min_ = minute;
+  if (watermark_min_ > config_.reorder_slack_min) {
+    flush_before(watermark_min_ - config_.reorder_slack_min);
+  }
+}
+
 void Collector::flush() {
+  check_not_in_flush("flush");
   flush_before(std::numeric_limits<std::uint32_t>::max());
 }
 

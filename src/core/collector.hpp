@@ -24,6 +24,14 @@
 namespace scrubber::core {
 
 /// Receives each closed minute's labeled flows.
+///
+/// Re-entrancy contract: the sink is invoked while the collector drains a
+/// minute bin and MUST NOT call back into `ingest` / `ingest_bgp` /
+/// `advance` / `flush` on the same collector — the collector is mid-drain
+/// and its cache would be mutated under the iteration. The contract is
+/// enforced: re-entering throws std::logic_error. (The sharded runtime in
+/// src/runtime/ relies on this: shard sinks forward batches to the merge
+/// queue and must never loop back into their own shard.)
 using MinuteBatchSink =
     std::function<void(std::uint32_t minute, std::span<const net::FlowRecord>)>;
 
@@ -42,6 +50,9 @@ class Collector {
 
   /// Ingests one sFlow datagram (already decoded). Advances collector time
   /// to the datagram's uptime and flushes bins older than the slack.
+  /// Datagrams for minutes that were already flushed (a shard fell behind
+  /// an externally advanced watermark) are dropped and counted instead of
+  /// re-opening the closed bin.
   void ingest(const net::SflowDatagram& datagram);
 
   /// Ingests sFlow wire bytes. Throws net::SflowDecodeError on bad input.
@@ -49,6 +60,14 @@ class Collector {
 
   /// Ingests one BGP update observed at `now_ms` (e.g. from bgp::Session).
   void ingest_bgp(const bgp::UpdateMessage& update, std::uint64_t now_ms);
+
+  /// Advances collector time to `minute` as if a datagram with that
+  /// timestamp had arrived (without ingesting any flows), closing bins
+  /// that fall out of the slack window. Used by the sharded runtime to
+  /// propagate the global watermark to shards that saw no traffic for a
+  /// stretch of minutes. Tolerant of stale calls: a `minute` at or below
+  /// the current watermark is a no-op.
+  void advance(std::uint32_t minute);
 
   /// Flushes every open bin (end of capture).
   void flush();
@@ -65,19 +84,31 @@ class Collector {
   [[nodiscard]] std::uint64_t blackholed_flows() const noexcept {
     return blackholed_flows_;
   }
+  /// Datagrams dropped because their minute was already flushed.
+  [[nodiscard]] std::uint64_t late_datagrams() const noexcept {
+    return late_datagrams_;
+  }
+  /// First minute that has NOT been flushed yet (flush horizon).
+  [[nodiscard]] std::uint32_t flush_horizon() const noexcept {
+    return flushed_before_;
+  }
 
  private:
   void flush_before(std::uint32_t minute);
+  void check_not_in_flush(const char* what) const;
 
   Config config_;
   MinuteBatchSink sink_;
   net::FlowCache cache_;
   bgp::BlackholeRegistry registry_;
   std::optional<net::Anonymizer> anonymizer_;
-  std::uint32_t watermark_min_ = 0;  ///< highest minute observed
+  std::uint32_t watermark_min_ = 0;   ///< highest minute observed
+  std::uint32_t flushed_before_ = 0;  ///< minutes < this are closed forever
+  bool in_flush_ = false;             ///< re-entrancy guard (sink contract)
   std::uint64_t datagrams_ = 0;
   std::uint64_t flows_emitted_ = 0;
   std::uint64_t blackholed_flows_ = 0;
+  std::uint64_t late_datagrams_ = 0;
 };
 
 /// Test/replay helper: expands flow records back into sFlow datagrams (one

@@ -1,0 +1,204 @@
+#include "runtime/engine.hpp"
+
+namespace scrubber::runtime {
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config, core::MinuteBatchSink minute_sink)
+    : config_(config),
+      minute_sink_(std::move(minute_sink)),
+      input_ring_(config.queue_capacity),
+      score_ring_(std::max<std::size_t>(16, config.queue_capacity / 16)),
+      start_(std::chrono::steady_clock::now()) {
+  ShardedCollectorConfig sharded_config;
+  sharded_config.shards = config_.shards;
+  sharded_config.collector = config_.collector;
+  sharded_config.queue_capacity = config_.queue_capacity;
+  sharded_ = std::make_unique<ShardedCollector>(
+      sharded_config,
+      [this](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+        // Merge thread → score ring. Blocking: merged minutes are already
+        // deduplicated work, dropping them would corrupt detector state.
+        ScoreItem item;
+        item.minute = minute;
+        item.flows.assign(flows.begin(), flows.end());
+        score_ring_.push_blocking(std::move(item), abort_);
+      });
+  decode_thread_ = std::thread([this] { decode_worker(); });
+  score_thread_ = std::thread([this] { score_worker(); });
+}
+
+Engine::~Engine() {
+  if (!finished_) {
+    // Teardown without flush: stop our workers first (they may be inside
+    // sharded_ calls), then let the sharded collector abort its own.
+    abort_.store(true, std::memory_order_relaxed);
+    if (decode_thread_.joinable()) decode_thread_.join();
+    if (score_thread_.joinable()) score_thread_.join();
+    sharded_.reset();
+  }
+}
+
+bool Engine::submit(InputEvent&& event) {
+  const bool control = event.kind == InputEvent::Kind::kBgp ||
+                       event.kind == InputEvent::Kind::kFinish;
+  if (config_.backpressure == Backpressure::kBlock || control) {
+    input_ring_.push_blocking(std::move(event), abort_);
+    decode_.note_queue_depth(input_ring_.size());
+    return true;
+  }
+  if (!input_ring_.try_push(std::move(event))) {
+    input_drops_.fetch_add(1, std::memory_order_relaxed);
+    decode_.add_drop();
+    return false;
+  }
+  decode_.note_queue_depth(input_ring_.size());
+  return true;
+}
+
+bool Engine::push(net::SflowDatagram datagram) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kDatagram;
+  event.datagram = std::move(datagram);
+  return submit(std::move(event));
+}
+
+bool Engine::push_wire(std::vector<std::uint8_t> wire) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kWire;
+  event.wire = std::move(wire);
+  return submit(std::move(event));
+}
+
+void Engine::push_bgp(bgp::UpdateMessage update, std::uint64_t now_ms) {
+  InputEvent event;
+  event.kind = InputEvent::Kind::kBgp;
+  event.update = std::move(update);
+  event.now_ms = now_ms;
+  submit(std::move(event));
+}
+
+void Engine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  InputEvent fin;
+  fin.kind = InputEvent::Kind::kFinish;
+  submit(std::move(fin));
+  decode_thread_.join();  // returns once the sharded collector finished
+  score_thread_.join();   // returns once the finish marker crossed scoring
+  wall_ns_final_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()),
+      std::memory_order_relaxed);
+}
+
+void Engine::decode_worker() {
+  InputEvent event;
+  for (;;) {
+    if (!input_ring_.try_pop(event)) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+      continue;
+    }
+    decode_.add_in();
+    switch (event.kind) {
+      case InputEvent::Kind::kWire: {
+        const std::uint64_t begin = now_ns();
+        try {
+          event.datagram = net::SflowDatagram::decode(event.wire);
+        } catch (const net::SflowDecodeError&) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          decode_.add_busy_ns(now_ns() - begin);
+          continue;
+        }
+        decode_.add_busy_ns(now_ns() - begin);
+        [[fallthrough]];
+      }
+      case InputEvent::Kind::kDatagram: {
+        const std::uint64_t begin = now_ns();
+        datagrams_.fetch_add(1, std::memory_order_relaxed);
+        sharded_->ingest(event.datagram);
+        decode_.add_out();
+        route_.add_in();
+        route_.add_out();
+        route_.add_busy_ns(now_ns() - begin);
+        break;
+      }
+      case InputEvent::Kind::kBgp: {
+        const std::uint64_t begin = now_ns();
+        bgp_updates_.fetch_add(1, std::memory_order_relaxed);
+        sharded_->ingest_bgp(event.update, event.now_ms);
+        decode_.add_out();
+        route_.add_busy_ns(now_ns() - begin);
+        break;
+      }
+      case InputEvent::Kind::kFinish: {
+        sharded_->finish();  // all minute batches now sit in the score ring
+        ScoreItem fin;
+        fin.finish = true;
+        score_ring_.push_blocking(std::move(fin), abort_);
+        return;
+      }
+    }
+  }
+}
+
+void Engine::score_worker() {
+  ScoreItem item;
+  for (;;) {
+    if (!score_ring_.try_pop(item)) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+      continue;
+    }
+    if (item.finish) return;
+    score_.add_in();
+    score_.note_queue_depth(score_ring_.size());
+    const std::uint64_t begin = now_ns();
+    if (minute_sink_) {
+      minute_sink_(item.minute, std::span<const net::FlowRecord>(
+                                    item.flows.data(), item.flows.size()));
+    }
+    score_.add_busy_ns(now_ns() - begin);  // per-minute scoring latency
+    score_.add_out();
+    flows_scored_.fetch_add(item.flows.size(), std::memory_order_relaxed);
+  }
+}
+
+EngineSnapshot Engine::stats() const {
+  EngineSnapshot snap;
+  const std::uint64_t frozen = wall_ns_final_.load(std::memory_order_relaxed);
+  snap.wall_seconds =
+      frozen != 0
+          ? static_cast<double>(frozen) * 1e-9
+          : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+  snap.datagrams = datagrams_.load(std::memory_order_relaxed);
+  snap.bgp_updates = bgp_updates_.load(std::memory_order_relaxed);
+  snap.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  snap.input_drops = input_drops_.load(std::memory_order_relaxed);
+  snap.late_drops = sharded_->late_datagrams();
+  snap.flows_out = flows_scored_.load(std::memory_order_relaxed);
+  snap.minutes_merged = sharded_->minutes_merged();
+  StageSnapshot collect = sharded_->collect_snapshot();
+  snap.samples = collect.items_in;
+  snap.stages.push_back(decode_.snapshot("decode"));
+  snap.stages.push_back(route_.snapshot("route"));
+  snap.stages.push_back(std::move(collect));
+  snap.stages.push_back(sharded_->merge_snapshot());
+  snap.stages.push_back(score_.snapshot("score"));
+  return snap;
+}
+
+}  // namespace scrubber::runtime

@@ -1,0 +1,115 @@
+#pragma once
+// Streaming ingest engine: the stage graph
+//
+//   producer ─► [input ring] ─► decode ─► route ─► shard rings ─► collect×N
+//                                                                    │
+//   sink ◄── score ◄── [score ring] ◄── merge ◄── [merge queue] ◄────┘
+//
+// wired from the runtime building blocks. One decode/route worker drains
+// the bounded input ring, decodes sFlow wire bytes when needed, and feeds
+// the ShardedCollector (N collect workers + merge worker). Merged minute
+// batches cross a bounded ring to the score worker, which invokes the
+// user's minute sink (typically core::LiveDetector::ingest_minute) — so a
+// slow model never blocks packet decode directly; backpressure propagates
+// queue by queue until the producer either blocks or drops, per policy.
+//
+// Producer API (push / push_wire / push_bgp / finish) must be called from
+// one thread. The minute sink runs on the score thread, and only there,
+// so non-thread-safe sinks are fine.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "runtime/counters.hpp"
+#include "runtime/ring.hpp"
+#include "runtime/sharded_collector.hpp"
+
+namespace scrubber::runtime {
+
+/// What the producer-facing input ring does when full.
+enum class Backpressure {
+  kBlock,  ///< push spins until space (lossless, producer-paced)
+  kDrop,   ///< push fails fast, drop counted (loss-tolerant telemetry)
+};
+
+struct EngineConfig {
+  std::size_t shards = 1;               ///< collector shards (collect workers)
+  std::size_t queue_capacity = 1024;    ///< bound for every stage queue
+  Backpressure backpressure = Backpressure::kBlock;
+  core::Collector::Config collector{};  ///< per-shard collector config
+};
+
+/// Multi-threaded decode → shard → collect → merge → score pipeline.
+class Engine {
+ public:
+  /// `minute_sink` receives every labeled minute batch, in minute order,
+  /// on the score thread.
+  Engine(EngineConfig config, core::MinuteBatchSink minute_sink);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues a decoded datagram. Returns false iff dropped (kDrop).
+  bool push(net::SflowDatagram datagram);
+
+  /// Enqueues raw sFlow wire bytes (decoded on the decode worker).
+  /// Returns false iff dropped (kDrop).
+  bool push_wire(std::vector<std::uint8_t> wire);
+
+  /// Enqueues a BGP update. Updates are control-plane state the labels
+  /// depend on, so they always block — never dropped, either policy.
+  void push_bgp(bgp::UpdateMessage update, std::uint64_t now_ms);
+
+  /// Drains every stage and joins every worker. After this returns the
+  /// minute sink has seen all input. Idempotent.
+  void finish();
+
+  /// Coherent point-in-time stats (callable while running).
+  [[nodiscard]] EngineSnapshot stats() const;
+
+ private:
+  struct InputEvent {
+    enum class Kind : std::uint8_t { kDatagram, kWire, kBgp, kFinish };
+    Kind kind = Kind::kDatagram;
+    net::SflowDatagram datagram;
+    std::vector<std::uint8_t> wire;
+    bgp::UpdateMessage update;
+    std::uint64_t now_ms = 0;
+  };
+  struct ScoreItem {
+    bool finish = false;
+    std::uint32_t minute = 0;
+    std::vector<net::FlowRecord> flows;
+  };
+
+  void decode_worker();
+  void score_worker();
+  bool submit(InputEvent&& event);
+
+  EngineConfig config_;
+  core::MinuteBatchSink minute_sink_;
+  SpscRing<InputEvent> input_ring_;
+  SpscRing<ScoreItem> score_ring_;
+  std::unique_ptr<ShardedCollector> sharded_;
+  std::thread decode_thread_;
+  std::thread score_thread_;
+  std::atomic<bool> abort_{false};
+  bool finished_ = false;  ///< producer thread only
+
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> wall_ns_final_{0};  ///< frozen at finish()
+  std::atomic<std::uint64_t> datagrams_{0};
+  std::atomic<std::uint64_t> bgp_updates_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> input_drops_{0};
+  std::atomic<std::uint64_t> flows_scored_{0};
+  StageCounters decode_;
+  StageCounters route_;
+  StageCounters score_;
+};
+
+}  // namespace scrubber::runtime

@@ -1,0 +1,181 @@
+#pragma once
+// Bounded queues for the streaming runtime (see DESIGN.md "Runtime").
+//
+// Two shapes cover every edge of the stage graph:
+//
+//   SpscRing   — lock-free single-producer/single-consumer ring. Used for
+//                the high-rate edges (producer → decode, router → shard,
+//                merge → score) where exactly one thread sits on each end.
+//                Head and tail live on separate cache lines and each side
+//                keeps a cached copy of the opposite index, so the steady
+//                state touches one shared line per batch, not per item.
+//
+//   MpscQueue  — mutex-based multi-producer/single-consumer bounded queue
+//                with blocking pop and close(). Used for the merge edge,
+//                where N shard threads funnel closed minute batches into
+//                one merge thread. Traffic here is per-minute-batch, not
+//                per-datagram, so a lock is cheap and keeps the code
+//                obviously correct.
+//
+// Both queues transfer by move; capacity is fixed at construction.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scrubber::runtime {
+
+/// Size of a destructive-interference-free region. Hardcoded rather than
+/// std::hardware_destructive_interference_size, which GCC warns is an ABI
+/// hazard in headers; 64 bytes is right for every deployment target.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Bounded lock-free SPSC ring buffer.
+///
+/// Exactly one thread may call push-side methods and exactly one thread
+/// pop-side methods. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Usable capacity (power of two, >= requested).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side: false when the ring is full (item untouched).
+  [[nodiscard]] bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  [[nodiscard]] bool try_push(T&& value) { return try_push(value); }
+
+  /// Producer side: spins (with yield) until the item fits or `abort`
+  /// becomes true. Returns false only on abort.
+  bool push_blocking(T&& value, const std::atomic<bool>& abort) {
+    while (!try_push(value)) {
+      if (abort.load(std::memory_order_relaxed)) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  /// Consumer side: false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called from either endpoint thread).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< next pop index
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        ///< consumer's view of tail
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< next push index
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        ///< producer's view of head
+};
+
+/// Bounded blocking MPSC queue with shutdown.
+///
+/// Any number of producers may push; one consumer pops. close() wakes
+/// everyone: producers fail fast, the consumer drains what is left and
+/// then sees pop() return false.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T&& value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    highwater_ = std::max(highwater_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  [[nodiscard]] bool try_push(T&& value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      highwater_ = std::max(highwater_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false once closed *and* drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue; queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  /// Deepest occupancy ever observed (for the queue-depth counters).
+  [[nodiscard]] std::size_t highwater() const {
+    std::lock_guard lock(mutex_);
+    return highwater_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t highwater_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace scrubber::runtime

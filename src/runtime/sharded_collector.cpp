@@ -1,0 +1,263 @@
+#include "runtime/sharded_collector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <tuple>
+
+namespace scrubber::runtime {
+namespace {
+
+constexpr std::uint32_t kClosedForever =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Nanoseconds since an arbitrary epoch (busy-time accounting).
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool canonical_flow_less(const net::FlowRecord& a,
+                         const net::FlowRecord& b) noexcept {
+  const auto key = [](const net::FlowRecord& f) {
+    return std::tuple(f.minute, f.src_ip.value(), f.dst_ip.value(), f.src_port,
+                      f.dst_port, f.protocol, f.tcp_flags, f.src_member,
+                      f.packets, f.bytes, f.blackholed);
+  };
+  return key(a) < key(b);
+}
+
+std::size_t shard_of(net::Ipv4Address dst, std::size_t shards) noexcept {
+  // splitmix64 finalizer: cheap, well-mixed, stable across runs.
+  std::uint64_t x = dst.value();
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
+ShardedCollector::ShardedCollector(ShardedCollectorConfig config,
+                                   core::MinuteBatchSink sink)
+    : config_(config),
+      sink_(std::move(sink)),
+      merge_queue_(std::max<std::size_t>(config.queue_capacity,
+                                         4 * std::max<std::size_t>(
+                                                 config.shards, 1))) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_worker(i); });
+  }
+  merge_thread_ = std::thread([this] { merge_worker(); });
+}
+
+ShardedCollector::~ShardedCollector() {
+  if (!finished_) {
+    // Abandon in-flight work: unblock every thread and join. No flush —
+    // destruction without finish() drops open bins by design.
+    abort_.store(true, std::memory_order_relaxed);
+    merge_queue_.close();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+    if (merge_thread_.joinable()) merge_thread_.join();
+  }
+}
+
+void ShardedCollector::broadcast(ShardMessage message) {
+  for (auto& shard : shards_) {
+    ShardMessage copy = message;
+    shard->ring.push_blocking(std::move(copy), abort_);
+  }
+}
+
+void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
+  // Split the datagram's samples into per-shard sub-datagrams. Shard
+  // identity comes from the raw destination IP (pre-anonymization), so a
+  // victim's flows always land in one shard.
+  const std::size_t n = shards_.size();
+  if (n == 1) {
+    ShardMessage message;
+    message.kind = ShardMessage::Kind::kData;
+    message.datagram = datagram;
+    collect_.add_in(datagram.samples.size());
+    shards_[0]->ring.push_blocking(std::move(message), abort_);
+    collect_.note_queue_depth(shards_[0]->ring.size());
+  } else {
+    std::vector<net::SflowDatagram> subs(n);
+    for (const auto& sample : datagram.samples) {
+      const std::size_t s = shard_of(sample.packet.dst_ip, n);
+      if (subs[s].samples.empty()) {
+        subs[s].agent = datagram.agent;
+        subs[s].sub_agent_id = datagram.sub_agent_id;
+        subs[s].sequence = datagram.sequence;
+        subs[s].uptime_ms = datagram.uptime_ms;
+      }
+      subs[s].samples.push_back(sample);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (subs[s].samples.empty()) continue;
+      ShardMessage message;
+      message.kind = ShardMessage::Kind::kData;
+      collect_.add_in(subs[s].samples.size());
+      message.datagram = std::move(subs[s]);
+      shards_[s]->ring.push_blocking(std::move(message), abort_);
+      collect_.note_queue_depth(shards_[s]->ring.size());
+    }
+  }
+
+  // Watermark punctuation: when stream time advances, tell every shard so
+  // quiet shards close their minutes too (and ack to the merge barrier).
+  const auto minute = static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
+  if (minute > watermark_min_) {
+    watermark_min_ = minute;
+    ShardMessage punct;
+    punct.kind = ShardMessage::Kind::kAdvance;
+    punct.minute = minute;
+    broadcast(std::move(punct));
+  }
+}
+
+void ShardedCollector::ingest_bgp(const bgp::UpdateMessage& update,
+                                  std::uint64_t now_ms) {
+  ShardMessage message;
+  message.kind = ShardMessage::Kind::kBgp;
+  message.update = update;
+  message.now_ms = now_ms;
+  broadcast(std::move(message));
+}
+
+void ShardedCollector::finish() {
+  if (finished_) return;
+  finished_ = true;
+  ShardMessage fin;
+  fin.kind = ShardMessage::Kind::kFinish;
+  broadcast(std::move(fin));
+  for (auto& shard : shards_) shard->thread.join();
+  merge_thread_.join();  // exits once every shard's horizon hit max
+  merge_queue_.close();
+}
+
+std::uint64_t ShardedCollector::late_datagrams() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->late.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+StageSnapshot ShardedCollector::merge_snapshot() const {
+  StageSnapshot snap = merge_.snapshot("merge");
+  snap.queue_highwater = std::max<std::uint64_t>(snap.queue_highwater,
+                                                 merge_queue_.highwater());
+  return snap;
+}
+
+void ShardedCollector::shard_worker(std::size_t index) {
+  Shard& self = *shards_[index];
+  core::Collector collector(
+      config_.collector,
+      [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+        // Runs inside the collector's drain; forwards downstream only
+        // (the MinuteBatchSink contract forbids re-entering `collector`).
+        MergeMessage batch;
+        batch.kind = MergeMessage::Kind::kBatch;
+        batch.shard = index;
+        batch.minute = minute;
+        batch.flows.assign(flows.begin(), flows.end());
+        collect_.add_out(batch.flows.size());
+        merge_queue_.push(std::move(batch));  // false only after abort
+      });
+
+  const auto publish_horizon = [&] {
+    self.late.store(collector.late_datagrams(), std::memory_order_relaxed);
+    MergeMessage horizon;
+    horizon.kind = MergeMessage::Kind::kHorizon;
+    horizon.shard = index;
+    horizon.minute = collector.flush_horizon();
+    merge_queue_.push(std::move(horizon));
+  };
+
+  ShardMessage message;
+  for (;;) {
+    if (!self.ring.try_pop(message)) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t begin = now_ns();
+    switch (message.kind) {
+      case ShardMessage::Kind::kData:
+        collector.ingest(message.datagram);
+        break;
+      case ShardMessage::Kind::kBgp:
+        collector.ingest_bgp(message.update, message.now_ms);
+        break;
+      case ShardMessage::Kind::kAdvance:
+        collector.advance(message.minute);
+        publish_horizon();
+        break;
+      case ShardMessage::Kind::kFinish:
+        collector.flush();  // horizon becomes UINT32_MAX
+        publish_horizon();
+        collect_.add_busy_ns(now_ns() - begin);
+        return;
+    }
+    collect_.add_busy_ns(now_ns() - begin);
+  }
+}
+
+void ShardedCollector::merge_worker() {
+  const std::size_t n = shards_.size();
+  std::vector<std::uint32_t> horizon(n, 0);
+  // Minute -> concatenated shard flows, naturally minute-ordered.
+  std::map<std::uint32_t, std::vector<net::FlowRecord>> pending;
+
+  const auto emit_below = [&](std::uint32_t barrier) {
+    while (!pending.empty() && pending.begin()->first < barrier) {
+      auto node = pending.extract(pending.begin());
+      std::vector<net::FlowRecord>& flows = node.mapped();
+      // Canonical order erases shard interleaving: output is identical
+      // for any shard count and any thread timing.
+      std::sort(flows.begin(), flows.end(), canonical_flow_less);
+      flows_emitted_.fetch_add(flows.size(), std::memory_order_relaxed);
+      minutes_merged_.fetch_add(1, std::memory_order_relaxed);
+      merge_.add_out(1);
+      if (sink_) {
+        sink_(node.key(),
+              std::span<const net::FlowRecord>(flows.data(), flows.size()));
+      }
+    }
+  };
+
+  MergeMessage message;
+  while (merge_queue_.pop(message)) {
+    const std::uint64_t begin = now_ns();
+    if (message.kind == MergeMessage::Kind::kBatch) {
+      merge_.add_in(1);
+      auto& bucket = pending[message.minute];
+      bucket.insert(bucket.end(), message.flows.begin(), message.flows.end());
+    } else {
+      horizon[message.shard] =
+          std::max(horizon[message.shard], message.minute);
+      const std::uint32_t barrier =
+          *std::min_element(horizon.begin(), horizon.end());
+      emit_below(barrier);
+      if (barrier == kClosedForever) {
+        merge_.add_busy_ns(now_ns() - begin);
+        return;  // every shard flushed and finished
+      }
+    }
+    merge_.add_busy_ns(now_ns() - begin);
+  }
+}
+
+}  // namespace scrubber::runtime

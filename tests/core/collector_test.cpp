@@ -133,6 +133,73 @@ TEST(Collector, ReorderSlackToleratesLateDatagrams) {
   EXPECT_EQ(batches.count(7), 1u);
 }
 
+TEST(Collector, SinkMustNotReenterTheCollector) {
+  // The MinuteBatchSink contract (relied on by runtime::ShardedCollector):
+  // the sink runs mid-drain and must not call back into the collector.
+  Collector* self = nullptr;
+  std::size_t calls = 0;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t, std::span<const net::FlowRecord>) {
+                        ++calls;
+                        EXPECT_THROW(self->ingest(datagram_at(9, 100)),
+                                     std::logic_error);
+                        EXPECT_THROW(self->flush(), std::logic_error);
+                        EXPECT_THROW(self->advance(99), std::logic_error);
+                        EXPECT_THROW(
+                            self->ingest_bgp(bgp::make_blackhole_announcement(
+                                                 Ipv4Prefix::host(Ipv4Address(1)),
+                                                 64512, Ipv4Address(1)),
+                                             0),
+                            std::logic_error);
+                      });
+  self = &collector;
+  collector.ingest(datagram_at(0, 100));
+  collector.flush();
+  EXPECT_EQ(calls, 1u);  // the guard fired inside a real drain
+}
+
+TEST(Collector, AdvanceClosesQuietMinutes) {
+  // A shard that stops seeing traffic still closes its bins when the
+  // runtime broadcasts the global watermark.
+  std::map<std::uint32_t, std::size_t> batches;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+                        batches[minute] += f.size();
+                      });
+  collector.ingest(datagram_at(3, 100));
+  EXPECT_TRUE(batches.empty());  // minute 3 open (slack 1)
+  collector.advance(5);          // watermark from elsewhere: closes < 4
+  EXPECT_EQ(batches.count(3), 1u);
+  EXPECT_EQ(collector.flush_horizon(), 4u);
+  collector.advance(5);  // idempotent
+  collector.advance(2);  // stale watermark tolerated: no-op, no underflow
+  EXPECT_EQ(collector.flush_horizon(), 4u);
+  EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(Collector, LateDatagramsAreDroppedAndCounted) {
+  // Once a minute is flushed it never reopens: a datagram arriving behind
+  // the flush horizon is shed with a counter, so every minute batch is
+  // emitted exactly once (the sharded merge depends on this).
+  std::map<std::uint32_t, std::size_t> batches;
+  Collector collector({.sampling_rate = 10},
+                      [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+                        batches[minute] += f.size();
+                      });
+  collector.ingest(datagram_at(0, 100));
+  collector.advance(10);  // closes minutes < 9, including 0
+  ASSERT_EQ(batches.count(0), 1u);
+  const std::size_t size_before = batches[0];
+
+  collector.ingest(datagram_at(0, 200));  // behind the horizon: dropped
+  EXPECT_EQ(collector.late_datagrams(), 1u);
+  collector.ingest(datagram_at(9, 100));  // at the horizon: accepted
+  EXPECT_EQ(collector.late_datagrams(), 1u);
+  collector.flush();
+  EXPECT_EQ(batches[0], size_before);  // minute 0 never re-emitted
+  EXPECT_EQ(batches.count(9), 1u);
+}
+
 TEST(FlowsToDatagrams, RoundTripPreservesAggregates) {
   // Property: flows -> datagrams -> collector reproduces the original
   // per-flow aggregates (packets within rounding, key fields exactly).

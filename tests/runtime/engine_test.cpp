@@ -1,0 +1,161 @@
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace scrubber::runtime {
+namespace {
+
+net::SflowDatagram datagram_at(std::uint32_t minute, std::uint32_t dst,
+                               std::uint32_t samples = 2) {
+  net::SflowDatagram datagram;
+  datagram.agent = net::Ipv4Address(0x0AFF0001);
+  datagram.uptime_ms = std::uint64_t{minute} * 60'000;
+  for (std::uint32_t k = 0; k < samples; ++k) {
+    net::SflowFlowSample sample;
+    sample.sampling_rate = 1;
+    sample.input_port = 5;
+    sample.packet.src_ip = net::Ipv4Address(0x80000000 + k);
+    sample.packet.dst_ip = net::Ipv4Address(dst + k);
+    sample.packet.src_port = 123;
+    sample.packet.dst_port = 44000;
+    sample.packet.protocol = 17;
+    sample.packet.length = 468;
+    datagram.samples.push_back(sample);
+  }
+  return datagram;
+}
+
+TEST(Engine, DeliversEveryMinuteInOrderUnderBlockPolicy) {
+  EngineConfig config;
+  config.shards = 4;
+  config.queue_capacity = 32;  // small queues: force real backpressure
+  config.backpressure = Backpressure::kBlock;
+  config.collector.sampling_rate = 1;
+
+  std::vector<std::uint32_t> minutes;
+  std::uint64_t flows = 0;
+  Engine engine(config,
+                [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+                  minutes.push_back(minute);
+                  flows += f.size();
+                });
+
+  constexpr std::uint32_t kMinutes = 120;
+  for (std::uint32_t minute = 0; minute < kMinutes; ++minute) {
+    for (std::uint32_t d = 0; d < 3; ++d) {
+      EXPECT_TRUE(engine.push(datagram_at(minute, 0xC0A80000 + 16 * d)));
+    }
+  }
+  engine.finish();
+
+  const EngineSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.input_drops, 0u);   // block policy never sheds
+  EXPECT_EQ(stats.late_drops, 0u);
+  EXPECT_EQ(stats.datagrams, kMinutes * 3);
+  // 3 datagrams/minute x 2 samples, all distinct flow keys.
+  EXPECT_EQ(stats.flows_out, std::uint64_t{kMinutes} * 6);
+  EXPECT_EQ(flows, stats.flows_out);
+  ASSERT_EQ(minutes.size(), kMinutes);
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    EXPECT_EQ(minutes[i], i);  // strictly minute-ordered delivery
+  }
+}
+
+TEST(Engine, DropPolicyShedsLoadWithoutDeadlock) {
+  EngineConfig config;
+  config.shards = 2;
+  config.queue_capacity = 8;  // tiny bounded queues everywhere
+  config.backpressure = Backpressure::kDrop;
+  config.collector.sampling_rate = 1;
+
+  Engine engine(config,
+                [&](std::uint32_t, std::span<const net::FlowRecord>) {
+                  // Slow model: scoring lags far behind ingest.
+                  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                });
+
+  constexpr std::uint32_t kMinutes = 400;
+  std::uint64_t accepted = 0;
+  for (std::uint32_t minute = 0; minute < kMinutes; ++minute) {
+    accepted += engine.push(datagram_at(minute, 0xC0A80000)) ? 1 : 0;
+  }
+  engine.finish();  // must return: bounded queues + drops, no deadlock
+
+  const EngineSnapshot stats = engine.stats();
+  EXPECT_GT(stats.input_drops, 0u);  // queue filled -> counter incremented
+  EXPECT_EQ(stats.input_drops, kMinutes - accepted);
+  EXPECT_EQ(stats.datagrams, accepted);
+  EXPECT_GT(stats.flows_out, 0u);  // accepted portion still flowed through
+}
+
+TEST(Engine, WirePathDecodesAndCountsErrors) {
+  EngineConfig config;
+  config.shards = 2;
+  config.collector.sampling_rate = 1;
+
+  std::uint64_t flows = 0;
+  Engine engine(config,
+                [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                  flows += f.size();
+                });
+  for (std::uint32_t minute = 0; minute < 10; ++minute) {
+    EXPECT_TRUE(engine.push_wire(datagram_at(minute, 0xC0A80000).encode()));
+  }
+  EXPECT_TRUE(engine.push_wire({0xDE, 0xAD, 0xBE, 0xEF}));  // malformed
+  engine.finish();
+
+  const EngineSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.decode_errors, 1u);
+  EXPECT_EQ(stats.datagrams, 10u);
+  EXPECT_EQ(flows, 20u);
+}
+
+TEST(Engine, BgpUpdatesLabelFlowsThroughThePipeline) {
+  EngineConfig config;
+  config.shards = 3;
+  config.collector.sampling_rate = 1;
+
+  std::uint64_t blackholed = 0;
+  std::uint64_t total = 0;
+  Engine engine(config,
+                [&](std::uint32_t, std::span<const net::FlowRecord> f) {
+                  for (const auto& flow : f) {
+                    blackholed += flow.blackholed;
+                    ++total;
+                  }
+                });
+  // Victim 0xC0A80000 blackholed from minute 0; 0xC0A80001 clean.
+  engine.push_bgp(bgp::make_blackhole_announcement(
+                      net::Ipv4Prefix::host(net::Ipv4Address(0xC0A80000)),
+                      64512, net::Ipv4Address(1)),
+                  0);
+  for (std::uint32_t minute = 0; minute < 20; ++minute) {
+    EXPECT_TRUE(engine.push(datagram_at(minute, 0xC0A80000)));
+  }
+  engine.finish();
+
+  ASSERT_EQ(total, 40u);      // 2 samples/datagram, distinct dst per sample
+  EXPECT_EQ(blackholed, 20u); // exactly the announced victim's flows
+  EXPECT_EQ(engine.stats().bgp_updates, 1u);
+}
+
+TEST(Engine, StatsSnapshotIsCallableMidRun) {
+  EngineConfig config;
+  config.shards = 2;
+  Engine engine(config, nullptr);
+  for (std::uint32_t minute = 0; minute < 5; ++minute) {
+    EXPECT_TRUE(engine.push(datagram_at(minute, 0xC0A80000)));
+  }
+  const EngineSnapshot mid = engine.stats();  // running workers
+  EXPECT_GE(mid.wall_seconds, 0.0);
+  EXPECT_EQ(mid.stages.size(), 5u);  // decode, route, collect, merge, score
+  engine.finish();
+  EXPECT_EQ(engine.stats().datagrams, 5u);
+}
+
+}  // namespace
+}  // namespace scrubber::runtime

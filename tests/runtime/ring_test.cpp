@@ -1,0 +1,146 @@
+#include "runtime/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace scrubber::runtime {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FullAndEmptyEdges) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 10));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  EXPECT_EQ(ring.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i + 10);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // drained
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WraparoundPreservesOrder) {
+  SpscRing<int> ring(8);
+  int out = 0;
+  // Cycle many times past the index wrap within the ring.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(round * 5 + i));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, round * 5 + i);
+    }
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  // Producer and consumer hammer a tiny ring so every wraparound and
+  // full/empty transition is exercised; the consumer checks FIFO order.
+  constexpr std::uint64_t kItems = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+  std::atomic<bool> abort{false};
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(ring.push_blocking(std::uint64_t{i}, abort));
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kItems) {
+    std::uint64_t value = 0;
+    if (!ring.try_pop(value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(value, expected);  // strict FIFO, nothing lost or duplicated
+    sum += value;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushBlockingAbortsWhenFlagged) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  std::atomic<bool> abort{true};
+  EXPECT_FALSE(ring.push_blocking(3, abort));  // full + aborted -> false
+}
+
+TEST(MpscQueue, MultiProducerDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10'000;
+  MpscQueue<int> queue(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::vector<int> last_per_producer(kProducers, -1);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    int value = 0;
+    ASSERT_TRUE(queue.pop(value));
+    ++seen[static_cast<std::size_t>(value)];
+    // Per-producer FIFO: values from one producer arrive in order.
+    const int producer = value / kPerProducer;
+    EXPECT_GT(value % kPerProducer, last_per_producer[producer]);
+    last_per_producer[producer] = value % kPerProducer;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0),
+            kProducers * kPerProducer);
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_LE(queue.highwater(), 64u);
+  EXPECT_GT(queue.highwater(), 0u);
+}
+
+TEST(MpscQueue, CloseDrainsThenStops) {
+  MpscQueue<int> queue(8);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // closed to producers immediately
+  int value = 0;
+  EXPECT_TRUE(queue.pop(value));  // ...but queued items drain
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.pop(value));  // closed + drained
+}
+
+TEST(MpscQueue, PopUnblocksOnClose) {
+  MpscQueue<int> queue(8);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+  });
+  int value = 0;
+  EXPECT_FALSE(queue.pop(value));  // was blocked, woken by close
+  closer.join();
+}
+
+}  // namespace
+}  // namespace scrubber::runtime

@@ -1,0 +1,182 @@
+// ixpd — always-on ingest daemon: flowgen traffic through the sharded
+// streaming engine into the live detector.
+//
+//   ixpd --profile us2 --minutes 2880 --shards 4 [--seed 7]
+//        [--sampling 10] [--queue 4096] [--policy block|drop] [--wire 1]
+//        [--stats-every 240] [--warmup 1440] [--retrain 1440]
+//
+// The daemon replays a seeded synthetic trace (the repo's stand-in for the
+// IXP's sFlow + BGP feeds, DESIGN.md §1) as fast as the engine accepts it:
+// every minute of flows is expanded back into sFlow datagrams (optionally
+// full wire encoding, exercising the decoder), interleaved with the BGP
+// blackhole announcements, and pushed through decode → shard → collect →
+// merge → score. The score stage feeds core::LiveDetector, which trains
+// after the warmup day and then emits detections, printed as they happen.
+// A stats heartbeat prints every --stats-every minutes of stream time and
+// a final throughput report (flows/sec, per-stage utilization) at exit.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/live_detector.hpp"
+#include "flowgen/generator.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace scrubber;
+
+/// Minimal --key value argument parser (same shape as scrubberctl's).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::runtime_error(std::string("expected --option, got ") +
+                                 argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw std::runtime_error("dangling option without a value");
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t number(const std::string& key,
+                                     std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+flowgen::IxpProfile profile_by_name(const std::string& name) {
+  for (const auto& profile : flowgen::all_ixp_profiles()) {
+    std::string lowered = profile.name;  // "IXP-US1" -> accept "us1"
+    for (auto& c : lowered) c = static_cast<char>(std::tolower(c));
+    if (lowered == "ixp-" + name || lowered == name) return profile;
+  }
+  if (name == "sas") return flowgen::self_attack_profile();
+  throw std::runtime_error("unknown profile: " + name +
+                           " (use ce1/us1/se/us2/ce2/sas)");
+}
+
+int run(int argc, char** argv) {
+  const Args args(argc, argv, 1);
+  const auto profile = profile_by_name(args.get("profile", "us2"));
+  const std::uint32_t minutes =
+      static_cast<std::uint32_t>(args.number("minutes", 2880));
+  const std::uint64_t seed = args.number("seed", 7);
+  const auto sampling = static_cast<std::uint32_t>(args.number("sampling", 10));
+  const bool wire = args.number("wire", 0) != 0;
+  const std::uint32_t stats_every =
+      static_cast<std::uint32_t>(args.number("stats-every", 240));
+
+  runtime::EngineConfig engine_config;
+  engine_config.shards = static_cast<std::size_t>(args.number("shards", 4));
+  engine_config.queue_capacity =
+      static_cast<std::size_t>(args.number("queue", 4096));
+  const std::string policy = args.get("policy", "block");
+  if (policy == "drop") {
+    engine_config.backpressure = runtime::Backpressure::kDrop;
+  } else if (policy != "block") {
+    throw std::runtime_error("--policy must be block or drop");
+  }
+  engine_config.collector.sampling_rate = sampling;
+
+  core::LiveDetectorConfig detector_config;
+  detector_config.warmup_min =
+      static_cast<std::uint32_t>(args.number("warmup", 1440));
+  detector_config.retrain_interval_min =
+      static_cast<std::uint32_t>(args.number("retrain", 1440));
+  detector_config.min_flows_per_target =
+      static_cast<std::uint32_t>(args.number("min-flows", 8));
+  detector_config.seed = seed ^ 0xD43;
+
+  std::uint64_t detections = 0;
+  core::LiveDetector detector(
+      detector_config, [&](const core::Detection& detection) {
+        ++detections;
+        const std::string vector =
+            detection.vector
+                ? " vector=" + std::string(net::vector_name(*detection.vector))
+                : "";
+        std::printf("DETECT minute=%u target=%s score=%.3f flows=%u%s\n",
+                    detection.minute, detection.target.to_string().c_str(),
+                    detection.score, detection.flow_count, vector.c_str());
+      });
+
+  runtime::Engine engine(
+      engine_config,
+      [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+        detector.ingest_minute(minute, flows);
+      });
+
+  std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu policy=%s "
+              "sampling=1/%u wire=%d seed=%llu\n",
+              profile.name.c_str(), minutes, engine_config.shards,
+              engine_config.queue_capacity, policy.c_str(), sampling, wire,
+              static_cast<unsigned long long>(seed));
+
+  const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);
+  flowgen::TrafficGenerator generator(profile, seed);
+  std::size_t next_update = 0;
+  generator.generate_stream(
+      0, minutes, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+      [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+        // BGP first: announcements effective in minute M must be in the
+        // registry before M's bin closes (same order the route server
+        // feed would deliver them).
+        const auto& updates = generator.updates();
+        while (next_update < updates.size() &&
+               updates[next_update].first <= minute) {
+          engine.push_bgp(updates[next_update].second,
+                          std::uint64_t{updates[next_update].first} * 60'000);
+          ++next_update;
+        }
+        for (const auto& datagram :
+             core::flows_to_datagrams(flows, sampling, agent)) {
+          if (wire) {
+            engine.push_wire(datagram.encode());
+          } else {
+            engine.push(datagram);
+          }
+        }
+        if (stats_every != 0 && minute != 0 && minute % stats_every == 0) {
+          std::printf("STATS minute=%u %s\n", minute,
+                      engine.stats().stats_line().c_str());
+          std::fflush(stdout);
+        }
+      });
+  engine.finish();
+
+  const runtime::EngineSnapshot snapshot = engine.stats();
+  std::printf("\n--- ixpd report ---\n%s", snapshot.report().c_str());
+  std::printf("detector: trained=%d retrains=%u window_flows=%zu "
+              "detections=%llu\n",
+              detector.ready(), detector.retrain_count(),
+              detector.window_flows(),
+              static_cast<unsigned long long>(detections));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ixpd: %s\n", error.what());
+    return 1;
+  }
+}
