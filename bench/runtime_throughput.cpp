@@ -10,8 +10,10 @@
 // tooling can tell those runs apart.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,32 @@
 #include "core/collector.hpp"
 #include "runtime/engine.hpp"
 #include "util/json.hpp"
+
+namespace {
+
+/// Commit SHA of the tree this binary benchmarks, queried from git at run
+/// time so it never goes stale between configure and run. "unknown" when
+/// git or the work tree is unavailable (e.g. a tarball build).
+std::string git_sha() {
+  const std::string command =
+      "git -C \"" SCRUBBER_SOURCE_DIR "\" rev-parse --short=12 HEAD "
+      "2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 64> buffer{};
+  std::string out;
+  if (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) !=
+      nullptr) {
+    out = buffer.data();
+  }
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+}  // namespace
 
 int main() {
   using namespace scrubber;
@@ -105,6 +133,15 @@ int main() {
 
   util::Json out;
   out.set("bench", "runtime_throughput");
+  // Provenance: which commit and which build produced these numbers. A
+  // checked or sanitized build is measurable but NOT comparable with the
+  // Release trajectory; trajectory tooling filters on these fields.
+  out.set("git_sha", git_sha());
+  out.set("build_type", SCRUBBER_BUILD_TYPE);
+  out.set("cxx_flags", SCRUBBER_CXX_FLAGS);
+  out.set("compiler", SCRUBBER_COMPILER);
+  out.set("checked", SCRUBBER_OPT_CHECKED != 0);
+  out.set("sanitize", SCRUBBER_OPT_SANITIZE);
   out.set("profile", "IXP-SE");
   out.set("trace_minutes", static_cast<double>(kMinutes));
   out.set("sampling_rate", static_cast<double>(kSampling));

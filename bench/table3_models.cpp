@@ -43,12 +43,12 @@ double measure_mcc(const ml::Pipeline& pipeline,
   const std::size_t sample = std::min<std::size_t>(data.size(), 400);
   const int repeats = 5;
   util::CycleTimer timer;
-  volatile int sink = 0;
+  long long sink = 0;
   for (int r = 0; r < repeats; ++r) {
     for (std::size_t i = 0; i < sample; ++i)
       sink += pipeline.predict(data.data.row(i));
   }
-  (void)sink;
+  bench::keep_alive(sink);
   return timer.mega_cycles() / static_cast<double>(sample * repeats);
 }
 

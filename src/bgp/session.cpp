@@ -24,12 +24,12 @@ std::vector<std::uint8_t> with_header(MessageType type,
 /// Validates the header and returns the payload view.
 std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& wire) {
   if (wire.size() < kHeaderSize) throw BgpDecodeError("short BGP message");
-  for (int i = 0; i < 16; ++i) {
+  for (std::size_t i = 0; i < 16; ++i) {
     if (wire[i] != 0xFF) throw BgpDecodeError("bad BGP marker");
   }
   const std::size_t length = (std::size_t{wire[16]} << 8) | wire[17];
   if (length != wire.size()) throw BgpDecodeError("length field mismatch");
-  return {wire.begin() + kHeaderSize, wire.end()};
+  return {wire.begin() + static_cast<std::ptrdiff_t>(kHeaderSize), wire.end()};
 }
 
 }  // namespace

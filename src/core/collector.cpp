@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace scrubber::core {
 
 Collector::Collector(Config config, MinuteBatchSink sink)
@@ -29,6 +31,9 @@ void Collector::flush_before(std::uint32_t minute) {
   // watermark by Collector::advance may later compute an older flush
   // minute from its own traffic; closed minutes never reopen.
   if (minute <= flushed_before_) return;
+#if defined(SCRUBBER_CHECKED)
+  const std::uint32_t previous_horizon = flushed_before_;
+#endif
   flushed_before_ = minute;
   in_flush_ = true;
   struct FlushGuard {
@@ -36,6 +41,17 @@ void Collector::flush_before(std::uint32_t minute) {
     ~FlushGuard() { flag = false; }
   } guard{in_flush_};
   auto flows = cache_.drain_before(minute);
+#if defined(SCRUBBER_CHECKED)
+  // Every drained flow belongs to [previous horizon, new horizon): the
+  // cache must never hold flows for minutes that were already emitted,
+  // and drain_before must not leak flows at or past the new horizon.
+  for (const net::FlowRecord& flow : flows) {
+    SCRUBBER_ASSERT(flow.minute >= previous_horizon,
+                    "collector drained a flow from an already-closed minute");
+    SCRUBBER_ASSERT(flow.minute < minute,
+                    "collector drained a flow beyond the flush horizon");
+  }
+#endif
   if (flows.empty()) return;
   std::stable_sort(flows.begin(), flows.end(),
                    [](const net::FlowRecord& a, const net::FlowRecord& b) {
@@ -75,6 +91,10 @@ void Collector::ingest(const net::SflowDatagram& datagram) {
   }
   net::ingest_datagram(datagram, cache_);
   watermark_min_ = std::max(watermark_min_, minute);
+  // The watermark/horizon pair is the collector's clock: both only move
+  // forward, and the horizon trails the watermark by the reorder slack.
+  SCRUBBER_ASSERT(flushed_before_ <= watermark_min_ + 1,
+                  "flush horizon overtook the watermark");
   if (watermark_min_ > config_.reorder_slack_min) {
     flush_before(watermark_min_ - config_.reorder_slack_min);
   }

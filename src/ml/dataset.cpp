@@ -58,8 +58,9 @@ Dataset::split_indices(double train_fraction, util::Rng& rng) const {
   rng.shuffle(order);
   const auto cut = static_cast<std::size_t>(
       static_cast<double>(n_rows()) * train_fraction);
-  std::vector<std::size_t> train(order.begin(), order.begin() + cut);
-  std::vector<std::size_t> test(order.begin() + cut, order.end());
+  const auto cut_it = order.begin() + static_cast<std::ptrdiff_t>(cut);
+  std::vector<std::size_t> train(order.begin(), cut_it);
+  std::vector<std::size_t> test(cut_it, order.end());
   return {std::move(train), std::move(test)};
 }
 

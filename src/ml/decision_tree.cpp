@@ -76,12 +76,14 @@ class TreeBuilder {
     indices.clear();
     indices.shrink_to_fit();  // release workspace before recursion
 
-    nodes_[index].feature = static_cast<std::uint32_t>(split.feature);
-    nodes_[index].threshold = split.threshold;
+    // Re-index after each grow(): recursion may reallocate nodes_.
+    const auto at = static_cast<std::size_t>(index);
+    nodes_[at].feature = static_cast<std::uint32_t>(split.feature);
+    nodes_[at].threshold = split.threshold;
     const std::int32_t left = grow(left_idx, depth + 1);
-    nodes_[index].left = left;
+    nodes_[at].left = left;
     const std::int32_t right = grow(right_idx, depth + 1);
-    nodes_[index].right = right;
+    nodes_[at].right = right;
     return index;
   }
 

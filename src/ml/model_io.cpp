@@ -53,6 +53,14 @@ GradientBoostedTrees::Tree tree_from_json(const util::Json& json) {
 
 }  // namespace
 
+// GCC 12 reports spurious -Wmaybe-uninitialized for the variant storage of
+// temporary Json values once vector::emplace_back is inlined at -O2; the
+// temporaries are fully constructed before the move (PR 105593 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 util::Json gbt_to_json(const GradientBoostedTrees& model) {
   util::Json out;
   out.set("type", util::Json("gbt"));
@@ -205,6 +213,10 @@ util::Json dt_to_json(const DecisionTree& model) {
   out.set("nodes", util::Json(std::move(nodes)));
   return out;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::unique_ptr<DecisionTree> dt_from_json(const util::Json& json) {
   if (json.at("type").as_string() != "dt") throw util::JsonError("not a dt model");

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/check.hpp"
+
 namespace scrubber::net {
 namespace {
 
@@ -76,6 +78,11 @@ class Reader {
   }
   Reader sub(std::size_t n) {
     require(n);
+    // Decode-bounds invariant: a sub-reader's window lies entirely inside
+    // its parent's, so no parse path can read past the datagram, whatever
+    // an adversarial length field says.
+    SCRUBBER_ASSERT(n <= size_ && pos_ <= size_ - n,
+                    "sflow sub-reader window escapes its parent");
     Reader r(data_ + pos_, n);
     pos_ += n;
     return r;
@@ -242,6 +249,8 @@ SflowDatagram SflowDatagram::decode(const std::vector<std::uint8_t>& wire) {
     }
     if (have_packet) out.samples.push_back(sample);
   }
+  SCRUBBER_ASSERT(out.samples.size() <= sample_count,
+                  "decoded more flow samples than the datagram declared");
   return out;
 }
 

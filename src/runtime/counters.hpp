@@ -57,6 +57,9 @@ class StageCounters {
   [[nodiscard]] std::uint64_t drops() const noexcept {
     return drops_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t items_in() const noexcept {
+    return in_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t items_out() const noexcept {
     return out_.load(std::memory_order_relaxed);
   }

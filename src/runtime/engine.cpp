@@ -1,5 +1,7 @@
 #include "runtime/engine.hpp"
 
+#include "util/check.hpp"
+
 namespace scrubber::runtime {
 namespace {
 
@@ -32,6 +34,12 @@ Engine::Engine(EngineConfig config, core::MinuteBatchSink minute_sink)
         item.flows.assign(flows.begin(), flows.end());
         score_ring_.push_blocking(std::move(item), abort_);
       });
+  // Stage-graph topology: one collect worker per configured shard (the
+  // sharded collector normalizes 0 to 1), and every stage queue bounded.
+  SCRUBBER_ASSERT(sharded_->shards() == std::max<std::size_t>(1, config_.shards),
+                  "engine stage graph lost a collect worker");
+  SCRUBBER_ASSERT(input_ring_.capacity() >= 1 && score_ring_.capacity() >= 1,
+                  "engine stage queues must be bounded and non-empty");
   decode_thread_ = std::thread([this] { decode_worker(); });
   score_thread_ = std::thread([this] { score_worker(); });
 }
@@ -94,6 +102,23 @@ void Engine::finish() {
   submit(std::move(fin));
   decode_thread_.join();  // returns once the sharded collector finished
   score_thread_.join();   // returns once the finish marker crossed scoring
+  // Counter coherence across the stage graph, checked at the one point
+  // where every queue is provably drained (all workers joined):
+  //   decode out = datagrams + BGP updates (errors and the finish marker
+  //                never leave the stage),
+  //   score saw every merged minute exactly once,
+  //   every flow the merge emitted reached the sink.
+  SCRUBBER_ASSERT(decode_.items_out() ==
+                      datagrams_.load(std::memory_order_relaxed) +
+                          bgp_updates_.load(std::memory_order_relaxed),
+                  "decode stage accounting leak");
+  SCRUBBER_ASSERT(score_.items_in() == sharded_->minutes_merged(),
+                  "score stage missed or duplicated a minute batch");
+  SCRUBBER_ASSERT(flows_scored_.load(std::memory_order_relaxed) ==
+                      sharded_->flows_emitted(),
+                  "flows lost or duplicated between merge and score");
+  SCRUBBER_ASSERT(input_ring_.empty() && score_ring_.empty(),
+                  "engine finished with items stranded in a stage queue");
   wall_ns_final_.store(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -144,6 +169,9 @@ void Engine::decode_worker() {
       }
       case InputEvent::Kind::kFinish: {
         sharded_->finish();  // all minute batches now sit in the score ring
+        // finish() joined the merge thread, so the score ring's producer
+        // endpoint hands off to this thread for the final sentinel.
+        score_ring_.adopt_producer();
         ScoreItem fin;
         fin.finish = true;
         score_ring_.push_blocking(std::move(fin), abort_);

@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace scrubber::runtime {
 
 /// Size of a destructive-interference-free region. Hardcoded rather than
@@ -51,8 +53,13 @@ class SpscRing {
   /// Usable capacity (power of two, >= requested).
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  // The push/pop paths below are the per-datagram hot path of the whole
+  // engine. scrubber-lint enforces that nothing blocking creeps in.
+  // scrubber-hot-begin
+
   /// Producer side: false when the ring is full (item untouched).
   [[nodiscard]] bool try_push(T& value) {
+    SCRUBBER_ASSERT_THREAD(push_owner_, "SpscRing push endpoint");
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ >= capacity()) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -76,6 +83,7 @@ class SpscRing {
 
   /// Consumer side: false when the ring is empty.
   [[nodiscard]] bool try_pop(T& out) {
+    SCRUBBER_ASSERT_THREAD(pop_owner_, "SpscRing pop endpoint");
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -93,6 +101,18 @@ class SpscRing {
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
+  // scrubber-hot-end
+
+  /// Checked-build handoff of the producer endpoint. Legal only after a
+  /// join point proves the previous producer thread has exited (e.g. the
+  /// merge thread is joined before the decode thread pushes the finish
+  /// sentinel); the next push re-claims ownership. No-op in normal builds.
+  void adopt_producer() noexcept {
+#if defined(SCRUBBER_CHECKED)
+    push_owner_.release();
+#endif
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;
@@ -100,6 +120,13 @@ class SpscRing {
   alignas(kCacheLine) std::size_t tail_cache_ = 0;        ///< consumer's view of tail
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< next push index
   alignas(kCacheLine) std::size_t head_cache_ = 0;        ///< producer's view of head
+#if defined(SCRUBBER_CHECKED)
+  // Checked builds enforce the SPSC ownership contract: the first thread
+  // to push (pop) claims the endpoint, any second thread aborts. Absent
+  // entirely in normal builds.
+  util::ThreadOwner push_owner_;
+  util::ThreadOwner pop_owner_;
+#endif
 };
 
 /// Bounded blocking MPSC queue with shutdown.

@@ -6,6 +6,8 @@
 #include <map>
 #include <tuple>
 
+#include "util/check.hpp"
+
 namespace scrubber::runtime {
 namespace {
 
@@ -144,6 +146,13 @@ void ShardedCollector::finish() {
   for (auto& shard : shards_) shard->thread.join();
   merge_thread_.join();  // exits once every shard's horizon hit max
   merge_queue_.close();
+  // Counter coherence: after a clean finish every flow a shard handed to
+  // the merge stage must have been emitted to the sink — the minute
+  // barrier drains completely, nothing is stranded in `pending`.
+  SCRUBBER_ASSERT(
+      flows_emitted_.load(std::memory_order_relaxed) == collect_.items_out(),
+      "merge emitted a different flow count than the shards produced "
+      "(minute-barrier drain is incomplete or duplicated)");
 }
 
 std::uint64_t ShardedCollector::late_datagrams() const noexcept {
@@ -177,12 +186,22 @@ void ShardedCollector::shard_worker(std::size_t index) {
         merge_queue_.push(std::move(batch));  // false only after abort
       });
 
+#if defined(SCRUBBER_CHECKED)
+  std::uint32_t last_published_horizon = 0;
+#endif
   const auto publish_horizon = [&] {
     self.late.store(collector.late_datagrams(), std::memory_order_relaxed);
     MergeMessage horizon;
     horizon.kind = MergeMessage::Kind::kHorizon;
     horizon.shard = index;
     horizon.minute = collector.flush_horizon();
+#if defined(SCRUBBER_CHECKED)
+    // The merge barrier is min-over-shards of these values; a regressing
+    // horizon would re-open an already-emitted minute.
+    SCRUBBER_ASSERT(horizon.minute >= last_published_horizon,
+                    "shard flush horizon regressed");
+    last_published_horizon = horizon.minute;
+#endif
     merge_queue_.push(std::move(horizon));
   };
 
@@ -220,11 +239,26 @@ void ShardedCollector::merge_worker() {
   std::vector<std::uint32_t> horizon(n, 0);
   // Minute -> concatenated shard flows, naturally minute-ordered.
   std::map<std::uint32_t, std::vector<net::FlowRecord>> pending;
+#if defined(SCRUBBER_CHECKED)
+  bool emitted_any = false;
+  std::uint32_t last_emitted = 0;   ///< highest minute handed to the sink
+  std::uint32_t last_barrier = 0;   ///< min-over-shards horizon
+#endif
 
   const auto emit_below = [&](std::uint32_t barrier) {
     while (!pending.empty() && pending.begin()->first < barrier) {
       auto node = pending.extract(pending.begin());
       std::vector<net::FlowRecord>& flows = node.mapped();
+#if defined(SCRUBBER_CHECKED)
+      // Minute-barrier ordering: the sink sees minutes strictly
+      // increasing, and never a minute the barrier has not yet passed.
+      SCRUBBER_ASSERT(!emitted_any || node.key() > last_emitted,
+                      "merge emitted minutes out of order");
+      SCRUBBER_ASSERT(node.key() < barrier,
+                      "merge emitted a minute at or beyond the barrier");
+      emitted_any = true;
+      last_emitted = node.key();
+#endif
       // Canonical order erases shard interleaving: output is identical
       // for any shard count and any thread timing.
       std::sort(flows.begin(), flows.end(), canonical_flow_less);
@@ -243,14 +277,29 @@ void ShardedCollector::merge_worker() {
     const std::uint64_t begin = now_ns();
     if (message.kind == MergeMessage::Kind::kBatch) {
       merge_.add_in(1);
+      // A batch below the barrier would extend a minute that was already
+      // emitted (closed forever) — exactly the corruption the barrier
+      // exists to prevent.
+#if defined(SCRUBBER_CHECKED)
+      SCRUBBER_ASSERT(message.minute >= last_barrier,
+                      "shard batch arrived for an already-emitted minute");
+#endif
       auto& bucket = pending[message.minute];
       bucket.insert(bucket.end(), message.flows.begin(), message.flows.end());
     } else {
+      // Per-shard horizons only advance: the MPSC queue preserves each
+      // producer's FIFO order and the shard publishes monotonically.
+      SCRUBBER_ASSERT(message.minute >= horizon[message.shard],
+                      "shard horizon message arrived out of order");
       horizon[message.shard] =
           std::max(horizon[message.shard], message.minute);
       const std::uint32_t barrier =
           *std::min_element(horizon.begin(), horizon.end());
       emit_below(barrier);
+#if defined(SCRUBBER_CHECKED)
+      SCRUBBER_ASSERT(barrier >= last_barrier, "merge barrier regressed");
+      last_barrier = barrier;
+#endif
       if (barrier == kClosedForever) {
         merge_.add_busy_ns(now_ns() - begin);
         return;  // every shard flushed and finished

@@ -1,0 +1,99 @@
+#pragma once
+// Checked-build invariant instrumentation (-DSCRUBBER_CHECKED=1, set by
+// the SCRUBBER_CHECKED CMake option).
+//
+// The concurrent runtime's correctness argument rests on a handful of
+// structural invariants — single-producer/single-consumer ring ownership,
+// monotonic watermarks, the minute-barrier merge order, stage-counter
+// coherence. A data race that breaks one of them corrupts the
+// blackholing-derived labels silently; no test output looks wrong, the
+// model just trains on garbage. The checked build turns each invariant
+// into an executable assertion so the whole tier-1 suite (and the
+// sanitizer CI matrix) runs with the runtime watching itself.
+//
+// Contract:
+//   * SCRUBBER_ASSERT(cond, msg)          — aborts with file:line, the
+//     failed expression and msg when cond is false.
+//   * SCRUBBER_ASSERT_THREAD(owner, what) — asserts that every call site
+//     naming the same ThreadOwner is reached by one thread only (the
+//     first caller claims ownership). Used for the SPSC ring endpoints.
+//   * When SCRUBBER_CHECKED is off, both macros expand to `((void)0)`
+//     and evaluate NOTHING — conditions may be arbitrarily expensive
+//     (O(n) scans over minute batches are fine).
+//
+// The assertion map — which invariant guards which structure — is
+// documented in DESIGN.md §7.
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(SCRUBBER_CHECKED)
+#include <atomic>
+#include <thread>
+#endif
+
+namespace scrubber::util {
+
+/// Prints the failure and aborts. Out-of-line so the macro expansion at
+/// every call site stays one compare + one never-taken branch.
+[[noreturn]] inline void checked_fail(const char* file, int line,
+                                      const char* expression,
+                                      const char* message) noexcept {
+  std::fprintf(stderr, "SCRUBBER_ASSERT failed: %s:%d: (%s) — %s\n", file,
+               line, expression, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+#if defined(SCRUBBER_CHECKED)
+
+/// Debug-only owner-thread tracker for single-threaded access contracts
+/// (each SPSC ring endpoint, the producer-facing engine API). The first
+/// thread to touch it claims ownership; any other thread aborts.
+class ThreadOwner {
+ public:
+  void check(const char* file, int line, const char* what) noexcept {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // "unowned"
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;  // first caller claims the endpoint
+    }
+    if (expected != self) {
+      checked_fail(file, line, what,
+                   "single-thread contract violated: called from a second "
+                   "thread");
+    }
+  }
+
+  /// Releases ownership (e.g. when a queue is handed to a new thread
+  /// after a join point makes the handoff safe).
+  void release() noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+#endif  // SCRUBBER_CHECKED
+
+}  // namespace scrubber::util
+
+#if defined(SCRUBBER_CHECKED)
+#define SCRUBBER_ASSERT(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::scrubber::util::checked_fail(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                    \
+  } while (false)
+#define SCRUBBER_ASSERT_THREAD(owner, what) \
+  (owner).check(__FILE__, __LINE__, (what))
+#else
+// Arguments are swallowed unexpanded: a checked-only member (e.g. a
+// ThreadOwner field that exists only under SCRUBBER_CHECKED) may be named
+// freely at call sites.
+#define SCRUBBER_ASSERT(cond, msg) ((void)0)
+#define SCRUBBER_ASSERT_THREAD(owner, what) ((void)0)
+#endif

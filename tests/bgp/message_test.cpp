@@ -43,8 +43,8 @@ TEST(UpdateMessage, EncodeDecodeRoundTrip) {
 TEST(UpdateMessage, WireFormatBasics) {
   const auto wire = sample_announcement().encode();
   ASSERT_GE(wire.size(), 19u);
-  for (int i = 0; i < 16; ++i) EXPECT_EQ(wire[i], 0xFF);  // marker
-  const std::size_t length = (std::size_t{wire[16]} << 8) | wire[17];
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(wire[i], 0xFF);  // marker
+  const std::size_t length = (std::size_t{wire[16]} << 8) | std::size_t{wire[17]};
   EXPECT_EQ(length, wire.size());
   EXPECT_EQ(wire[18], 2);  // type UPDATE
 }

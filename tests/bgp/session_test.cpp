@@ -59,7 +59,7 @@ TEST(MessageType, Detection) {
   const auto update =
       make_withdrawal(*Ipv4Prefix::parse("10.0.0.0/8")).encode();
   EXPECT_EQ(message_type(update), MessageType::kUpdate);
-  EXPECT_THROW(message_type({}), BgpDecodeError);
+  EXPECT_THROW((void)message_type({}), BgpDecodeError);
 }
 
 TEST(Session, HandshakeReachesEstablished) {

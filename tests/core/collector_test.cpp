@@ -12,6 +12,17 @@ namespace {
 using net::Ipv4Address;
 using net::Ipv4Prefix;
 
+
+/// Config builder: GCC 12's -Wmissing-field-initializers fires on
+/// designated initializers even when the omitted members have defaults.
+Collector::Config make_config(std::uint32_t sampling_rate = 10,
+                              std::uint32_t reorder_slack_min = 1) {
+  Collector::Config config;
+  config.sampling_rate = sampling_rate;
+  config.reorder_slack_min = reorder_slack_min;
+  return config;
+}
+
 net::SflowDatagram datagram_at(std::uint32_t minute, std::uint32_t dst,
                                std::uint16_t src_port = 123,
                                std::uint32_t samples = 3) {
@@ -35,7 +46,7 @@ net::SflowDatagram datagram_at(std::uint32_t minute, std::uint32_t dst,
 
 TEST(Collector, EmitsClosedMinutes) {
   std::map<std::uint32_t, std::size_t> batches;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
                         batches[minute] += f.size();
                       });
@@ -51,7 +62,7 @@ TEST(Collector, EmitsClosedMinutes) {
 
 TEST(Collector, ScalesBySamplingRate) {
   std::vector<net::FlowRecord> flows;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t, std::span<const net::FlowRecord> f) {
                         flows.insert(flows.end(), f.begin(), f.end());
                       });
@@ -64,7 +75,7 @@ TEST(Collector, ScalesBySamplingRate) {
 
 TEST(Collector, LabelsFromBgpFeed) {
   std::vector<net::FlowRecord> flows;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t, std::span<const net::FlowRecord> f) {
                         flows.insert(flows.end(), f.begin(), f.end());
                       });
@@ -86,7 +97,9 @@ TEST(Collector, LabelsFromBgpFeed) {
 
 TEST(Collector, AnonymizesWhenConfigured) {
   std::vector<net::FlowRecord> flows;
-  Collector collector({.sampling_rate = 10, .anonymization_salt = 999},
+  Collector::Config salted = make_config();
+  salted.anonymization_salt = 999;
+  Collector collector(salted,
                       [&](std::uint32_t, std::span<const net::FlowRecord> f) {
                         flows.insert(flows.end(), f.begin(), f.end());
                       });
@@ -106,7 +119,7 @@ TEST(Collector, AnonymizesWhenConfigured) {
 
 TEST(Collector, WireIngestion) {
   std::size_t flows = 0;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t, std::span<const net::FlowRecord> f) {
                         flows += f.size();
                       });
@@ -119,7 +132,7 @@ TEST(Collector, WireIngestion) {
 
 TEST(Collector, ReorderSlackToleratesLateDatagrams) {
   std::map<std::uint32_t, std::size_t> batches;
-  Collector collector({.sampling_rate = 10, .reorder_slack_min = 2},
+  Collector collector(make_config(10, 2),
                       [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
                         batches[minute] += f.size();
                       });
@@ -138,7 +151,7 @@ TEST(Collector, SinkMustNotReenterTheCollector) {
   // the sink runs mid-drain and must not call back into the collector.
   Collector* self = nullptr;
   std::size_t calls = 0;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t, std::span<const net::FlowRecord>) {
                         ++calls;
                         EXPECT_THROW(self->ingest(datagram_at(9, 100)),
@@ -162,7 +175,7 @@ TEST(Collector, AdvanceClosesQuietMinutes) {
   // A shard that stops seeing traffic still closes its bins when the
   // runtime broadcasts the global watermark.
   std::map<std::uint32_t, std::size_t> batches;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
                         batches[minute] += f.size();
                       });
@@ -182,7 +195,7 @@ TEST(Collector, LateDatagramsAreDroppedAndCounted) {
   // the flush horizon is shed with a counter, so every minute batch is
   // emitted exactly once (the sharded merge depends on this).
   std::map<std::uint32_t, std::size_t> batches;
-  Collector collector({.sampling_rate = 10},
+  Collector collector(make_config(),
                       [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
                         batches[minute] += f.size();
                       });
@@ -211,7 +224,7 @@ TEST(FlowsToDatagrams, RoundTripPreservesAggregates) {
   ASSERT_FALSE(datagrams.empty());
 
   std::vector<net::FlowRecord> reconstructed;
-  Collector collector({.sampling_rate = rate, .reorder_slack_min = 0},
+  Collector collector(make_config(rate, 0),
                       [&](std::uint32_t, std::span<const net::FlowRecord> f) {
                         reconstructed.insert(reconstructed.end(), f.begin(),
                                              f.end());

@@ -15,8 +15,8 @@ struct Fixture {
     Balancer balancer(3);
     gen.generate_stream(
         0, 10 * 60, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
-        [&](std::uint32_t m, std::span<const net::FlowRecord> flows) {
-          balancer.add_minute(m, flows);
+        [&](std::uint32_t m, std::span<const net::FlowRecord> batch) {
+          balancer.add_minute(m, batch);
         });
     flows = balancer.take_balanced();
     auto rules = scrubber.mine_tagging_rules(flows);

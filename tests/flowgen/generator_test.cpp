@@ -243,7 +243,9 @@ TEST(Generator, MemberIdsStable) {
   std::unordered_map<std::uint32_t, net::MemberId> seen;
   for (const auto& flow : trace.flows) {
     const auto [it, inserted] = seen.emplace(flow.src_ip.value(), flow.src_member);
-    if (!inserted) EXPECT_EQ(it->second, flow.src_member);
+    if (!inserted) {
+      EXPECT_EQ(it->second, flow.src_member);
+    }
   }
 }
 

@@ -101,8 +101,12 @@ TEST_P(AllProfiles, AggregatorInvariants) {
     const double v0 = data.at(i, c0);
     const double v1 = data.at(i, c1);
     const double v2 = data.at(i, c2);
-    if (!ml::is_missing(v1)) EXPECT_GE(v0, v1);
-    if (!ml::is_missing(v2)) EXPECT_GE(v1, v2);
+    if (!ml::is_missing(v1)) {
+      EXPECT_GE(v0, v1);
+    }
+    if (!ml::is_missing(v2)) {
+      EXPECT_GE(v1, v2);
+    }
   }
 
   // Flow counts in metadata add up to the input size.
@@ -119,8 +123,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ProfileCase{flowgen::ixp_us2(), 48 * 60},
                       ProfileCase{flowgen::ixp_ce2(), 72 * 60},
                       ProfileCase{flowgen::self_attack_profile(), 6 * 60}),
-    [](const auto& info) {
-      std::string name = info.param.profile.name;  // "IXP-US1" -> "IXP_US1"
+    [](const auto& param_info) {
+      std::string name = param_info.param.profile.name;  // "IXP-US1" -> "IXP_US1"
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -1,0 +1,15 @@
+// Fixture: scrubber-memory-order is scoped to src/runtime/ — the same
+// default-ordering atomics outside it are allowed (general-purpose code
+// may take seq_cst). No diagnostics expected in this file.
+#include <atomic>
+
+namespace fixture {
+
+int relaxed_rules_here() {
+  std::atomic<int> counter{0};
+  counter.store(1);
+  counter.fetch_add(2);
+  return counter.load();
+}
+
+}  // namespace fixture

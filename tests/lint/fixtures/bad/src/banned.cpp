@@ -1,0 +1,13 @@
+// Fixture: scrubber-banned-construct — std::regex and volatile.
+#include <regex>  // EXPECT-LINT: scrubber-banned-construct
+
+namespace fixture {
+
+bool match(const char* text) {
+  std::regex pattern("a+b");   // EXPECT-LINT: scrubber-banned-construct
+  volatile int spin_flag = 1;  // EXPECT-LINT: scrubber-banned-construct
+  (void)spin_flag;
+  return text != nullptr && std::regex_search(text, pattern);
+}
+
+}  // namespace fixture

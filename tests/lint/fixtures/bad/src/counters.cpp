@@ -1,0 +1,15 @@
+// Fixture: scrubber-float-counter — byte/packet tallies stay integral;
+// derived quantities (rates, means, shares) are exempt by name.
+#include <cstdint>
+
+namespace fixture {
+
+struct Totals {
+  double total_bytes = 0.0;       // EXPECT-LINT: scrubber-float-counter
+  float packet_count = 0.0F;      // EXPECT-LINT: scrubber-float-counter
+  double bytes_per_second = 0.0;  // derived rate: exempt
+  double mean_packets = 0.0;      // derived mean: exempt
+  std::uint64_t pkts_in = 0;      // integer counter: correct
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_GUARDED_HPP /* EXPECT-LINT: scrubber-include-guard */
+#define FIXTURE_GUARDED_HPP
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif

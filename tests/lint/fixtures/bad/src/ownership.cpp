@@ -1,0 +1,20 @@
+// Fixture: scrubber-naked-new — `= delete` declarations are the one
+// allowed spelling of the keyword.
+
+namespace fixture {
+
+struct Widget {
+  int value = 0;
+  Widget() = default;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+};
+
+int churn() {
+  int* scratch = new int(7);  // EXPECT-LINT: scrubber-naked-new
+  int result = *scratch;
+  delete scratch;  // EXPECT-LINT: scrubber-naked-new
+  return result;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: scrubber-raw-rand — unseeded randomness outside src/util/rng.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int entropy() {
+  std::random_device device;  // EXPECT-LINT: scrubber-raw-rand
+  int noise = rand();         // EXPECT-LINT: scrubber-raw-rand
+  srand(42);                  // EXPECT-LINT: scrubber-raw-rand
+  return noise + static_cast<int>(device());  // calling through is not re-flagged
+}
+
+}  // namespace fixture

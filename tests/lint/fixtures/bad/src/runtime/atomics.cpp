@@ -1,0 +1,22 @@
+// Fixture: scrubber-memory-order — atomic ops in src/runtime/ must name
+// their ordering. Lexed by scrubber-lint only; never compiled.
+#include <atomic>
+
+namespace fixture {
+
+int bad_atomics() {
+  std::atomic<int> counter{0};
+  std::atomic<int>* pointer = &counter;
+  counter.store(1);               // EXPECT-LINT: scrubber-memory-order
+  int a = counter.load();         // EXPECT-LINT: scrubber-memory-order
+  int b = pointer->fetch_add(2);  // EXPECT-LINT: scrubber-memory-order
+  counter.store(3, std::memory_order_release);
+  int c = counter.load(std::memory_order_acquire);
+  int expected = 0;
+  counter.compare_exchange_strong(expected, 5);  // EXPECT-LINT: scrubber-memory-order
+  counter.compare_exchange_weak(expected, 5, std::memory_order_acq_rel,
+                                std::memory_order_acquire);
+  return a + b + c;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+#pragma once
+// Fixture: scrubber-hot-path-blocking — no locks between the hot markers;
+// the same construct outside the region is allowed.
+#include <mutex>
+
+namespace fixture {
+
+class Ring {
+ public:
+  // scrubber-hot-begin
+  bool try_push(int value) {
+    std::lock_guard guard(lock_);  // EXPECT-LINT: scrubber-hot-path-blocking
+    value_ = value;
+    return true;
+  }
+  // scrubber-hot-end
+
+  void slow_path() {
+    std::lock_guard guard(lock_);
+    value_ = 0;
+  }
+
+ private:
+  std::mutex lock_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: unmatched hot-region markers are violations at the marker line.
+
+namespace fixture {
+
+inline int spin() { return 0; }
+
+/* EXPECT-LINT: scrubber-hot-path-blocking */  // scrubber-hot-end
+
+inline int also_spin() { return 1; }
+
+/* EXPECT-LINT: scrubber-hot-path-blocking */  // scrubber-hot-begin
+
+}  // namespace fixture

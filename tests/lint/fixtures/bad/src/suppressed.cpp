@@ -1,0 +1,15 @@
+// Fixture: NOLINT handling — a justified suppression silences the rule,
+// a bare NOLINT is itself a violation AND the rule still fires.
+#include <cstdlib>
+
+namespace fixture {
+
+int seeded() {
+  // NOLINTNEXTLINE(scrubber-raw-rand): fixture proving justified next-line suppression
+  int a = rand();
+  int b = rand();  // NOLINT(scrubber-raw-rand): fixture proving justified inline suppression
+  int c = rand();  // NOLINT(scrubber-raw-rand) EXPECT-LINT: scrubber-raw-rand, scrubber-nolint-needs-reason
+  return a + b + c;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+#pragma once
+// Clean fixture: satisfies every scrubber-* rule — explicit memory orders,
+// lock-free hot region, structural ownership, #pragma once. The linter
+// must stay completely silent on this tree.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace fixture {
+
+class Counter {
+ public:
+  // scrubber-hot-begin
+  void bump() { value_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t total_packets() const {
+    return value_.load(std::memory_order_acquire);
+  }
+  // scrubber-hot-end
+
+  [[nodiscard]] static std::unique_ptr<Counter> make() {
+    return std::make_unique<Counter>();
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Derived floating-point quantities are fine; raw tallies are integral.
+struct MinuteStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  double mean_packet_len = 0.0;
+  double bytes_per_second = 0.0;
+};
+
+}  // namespace fixture

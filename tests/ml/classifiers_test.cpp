@@ -118,8 +118,8 @@ INSTANTIATE_TEST_SUITE_P(
                              CountNbKind::kBernoulli);
                        },
                        0.80}),
-    [](const auto& info) {
-      std::string name = info.param.name;
+    [](const auto& param_info) {
+      std::string name = param_info.param.name;
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -50,8 +50,8 @@ INSTANTIATE_TEST_SUITE_P(SerializableModels, PipelineIo,
                                            ModelKind::kNeuralNet,
                                            ModelKind::kNaiveBayesGaussian,
                                            ModelKind::kDummy),
-                         [](const auto& info) {
-                           std::string name(model_kind_name(info.param));
+                         [](const auto& param_info) {
+                           std::string name(model_kind_name(param_info.param));
                            for (auto& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -81,7 +81,7 @@ TEST(Engine, DropPolicyShedsLoadWithoutDeadlock) {
   constexpr std::uint32_t kMinutes = 400;
   std::uint64_t accepted = 0;
   for (std::uint32_t minute = 0; minute < kMinutes; ++minute) {
-    accepted += engine.push(datagram_at(minute, 0xC0A80000)) ? 1 : 0;
+    if (engine.push(datagram_at(minute, 0xC0A80000))) ++accepted;
   }
   engine.finish();  // must return: bounded queues + drops, no deadlock
 

@@ -106,8 +106,9 @@ TEST(MpscQueue, MultiProducerDeliversEverything) {
     ++seen[static_cast<std::size_t>(value)];
     // Per-producer FIFO: values from one producer arrive in order.
     const int producer = value / kPerProducer;
-    EXPECT_GT(value % kPerProducer, last_per_producer[producer]);
-    last_per_producer[producer] = value % kPerProducer;
+    const auto producer_at = static_cast<std::size_t>(producer);
+    EXPECT_GT(value % kPerProducer, last_per_producer[producer_at]);
+    last_per_producer[producer_at] = value % kPerProducer;
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0),

@@ -122,8 +122,9 @@ void expect_identical(const MinuteBatches& expected,
 }
 
 TEST(ShardedCollector, BitIdenticalToSingleCollectorAcrossShardCounts) {
-  const core::Collector::Config config{.sampling_rate = 4,
-                                       .reorder_slack_min = 1};
+  core::Collector::Config config;
+  config.sampling_rate = 4;
+  config.reorder_slack_min = 1;
   const auto events = make_stream(/*minutes=*/180, config.sampling_rate, 77);
   bool saw_blackholed = false;
   const MinuteBatches reference = run_single(events, config);
@@ -174,8 +175,9 @@ TEST(ShardedCollector, QuietShardsAdvanceViaPunctuation) {
     events.push_back(std::move(event));
   }
 
-  const core::Collector::Config config{.sampling_rate = 1,
-                                       .reorder_slack_min = 1};
+  core::Collector::Config config;
+  config.sampling_rate = 1;
+  config.reorder_slack_min = 1;
   const MinuteBatches reference = run_single(events, config);
   ASSERT_EQ(reference.size(), 30u);
   expect_identical(reference, run_sharded(events, config, 8), 8);

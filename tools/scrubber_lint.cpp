@@ -1,0 +1,690 @@
+// scrubber-lint — project-specific static analysis for the IXP scrubber.
+//
+// clang-tidy covers general C++ hygiene; this linter enforces the handful
+// of *project* invariants that keep the concurrent ingest runtime honest
+// and that no off-the-shelf check can express:
+//
+//   scrubber-memory-order      every std::atomic load/store/RMW in
+//                              src/runtime/ names an explicit
+//                              std::memory_order (no seq_cst-by-default;
+//                              the ordering argument is documentation of
+//                              the synchronization protocol)
+//   scrubber-hot-path-blocking no mutexes, condition variables, or
+//                              sleeping calls inside regions marked
+//                              // scrubber-hot-begin / // scrubber-hot-end
+//                              (the SPSC ring push/pop paths)
+//   scrubber-raw-rand          no rand()/srand()/std::random_device
+//                              outside src/util/rng — all randomness is
+//                              seeded and reproducible
+//   scrubber-float-counter     byte/packet counters must not accumulate
+//                              in float/double (silent precision loss at
+//                              IXP volumes); integers only
+//   scrubber-naked-new         no naked new/delete — ownership goes
+//                              through containers and smart pointers
+//   scrubber-include-guard     headers use #pragma once, not #ifndef
+//                              guard macros
+//   scrubber-banned-construct  std::regex (unbounded backtracking on hot
+//                              paths) and volatile (it is not
+//                              synchronization) are banned in src/
+//
+// Suppression: append `// NOLINT(scrubber-<rule>): <justification>` to
+// the offending line, or put `// NOLINTNEXTLINE(scrubber-<rule>): <why>`
+// on the line above. The justification text is mandatory — a bare NOLINT
+// is itself a violation (scrubber-nolint-needs-reason).
+//
+// Output: one `file:line: rule-id message` diagnostic per violation;
+// exit status 1 when anything fired, 0 when clean, 2 on usage/IO errors.
+// Wired into ctest as `scrubber_lint_repo` over src/, tools/ and bench/.
+//
+// The "parser" is a comment/string-aware token scanner, not a full C++
+// front end. That is deliberate: every rule here is lexical by design so
+// the linter stays dependency-free, builds in a second, and never goes
+// stale against compiler versions. Rules that need semantics (aliasing,
+// escape analysis) belong in the sanitizer matrix, not here.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_identifier = false;
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;
+};
+
+struct Directive {
+  std::string text;  ///< full preprocessor line, whitespace-normalized
+  int line = 0;
+};
+
+struct HotRegion {
+  int begin_line = 0;
+  int end_line = 0;  ///< 0 while unclosed
+};
+
+/// One source file, lexed: code tokens with comments and strings stripped
+/// out, plus the comments and preprocessor directives kept on the side
+/// (NOLINT markers and include-guard checks need them).
+struct LexedFile {
+  std::string rel_path;  ///< forward-slash path relative to the scan root
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  std::vector<HotRegion> hot_regions;
+  int last_line = 1;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    return std::tie(file, line, rule) <
+           std::tie(other.file, other.line, other.rule);
+  }
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Comment/string/char-literal aware scanner. Raw strings are handled
+/// (R"delim(...)delim"), line continuations inside directives are not —
+/// the codebase does not use them.
+LexedFile lex(const std::string& rel_path, const std::string& text) {
+  LexedFile out;
+  out.rel_path = rel_path;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  // A marker is the comment's *entire* content (mentioning a marker in
+  // prose must not open a region).
+  const auto note_hot_marker = [&](const std::string& comment, int at) {
+    const auto first = comment.find_first_not_of(" \t");
+    const auto last = comment.find_last_not_of(" \t\r");
+    const std::string trimmed =
+        first == std::string::npos
+            ? std::string()
+            : comment.substr(first, last - first + 1);
+    if (trimmed == "scrubber-hot-begin") {
+      out.hot_regions.push_back(HotRegion{at, 0});
+    } else if (trimmed == "scrubber-hot-end") {
+      if (!out.hot_regions.empty() && out.hot_regions.back().end_line == 0) {
+        out.hot_regions.back().end_line = at;
+      } else {
+        out.hot_regions.push_back(HotRegion{0, at});  // end without begin
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the whole line.
+    if (c == '#' && at_line_start) {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      std::string directive = text.substr(i, end - i);
+      // Strip a trailing // comment from the directive text.
+      if (const auto slash = directive.find("//"); slash != std::string::npos) {
+        std::string trailing = directive.substr(slash + 2);
+        note_hot_marker(trailing, line);
+        out.comments.push_back(Comment{std::move(trailing), line});
+        directive.resize(slash);
+      }
+      out.directives.push_back(Directive{std::move(directive), line});
+      i = end;
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      std::string comment = text.substr(i + 2, end - i - 2);
+      note_hot_marker(comment, line);
+      out.comments.push_back(Comment{std::move(comment), line});
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      std::string comment = text.substr(i + 2, end - i - 2);
+      line += static_cast<int>(std::count(comment.begin(), comment.end(), '\n'));
+      note_hot_marker(comment, start_line);
+      out.comments.push_back(Comment{std::move(comment), start_line});
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t paren = text.find('(', i + 2);
+      if (paren == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string close =
+          ")" + text.substr(i + 2, paren - i - 2) + "\"";
+      std::size_t end = text.find(close, paren + 1);
+      if (end == std::string::npos) end = n;
+      line += static_cast<int>(
+          std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                     text.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(n, end + close.size())),
+                     '\n'));
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && is_ident_char(text[end])) ++end;
+      out.tokens.push_back(Token{text.substr(i, end - i), line, true});
+      i = end;
+      continue;
+    }
+    // Number (digits and the usual suffix soup; precision irrelevant here).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = i;
+      while (end < n && (is_ident_char(text[end]) || text[end] == '.' ||
+                         ((text[end] == '+' || text[end] == '-') && end > i &&
+                          (text[end - 1] == 'e' || text[end - 1] == 'E')))) {
+        ++end;
+      }
+      out.tokens.push_back(Token{text.substr(i, end - i), line, false});
+      i = end;
+      continue;
+    }
+    // Punctuation: single characters; enough for every rule here.
+    out.tokens.push_back(Token{std::string(1, c), line, false});
+    ++i;
+  }
+  out.last_line = line;
+  return out;
+}
+
+/// NOLINT bookkeeping: which scrubber-* rules are suppressed on which
+/// lines, and which NOLINT markers are missing their justification.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> malformed;
+
+  [[nodiscard]] bool covers(const std::string& file, int line,
+                            const std::string& rule) const {
+    (void)file;
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions parse_suppressions(const LexedFile& file) {
+  Suppressions out;
+  for (const Comment& comment : file.comments) {
+    for (const char* marker : {"NOLINTNEXTLINE(", "NOLINT("}) {
+      const auto at = comment.text.find(marker);
+      if (at == std::string::npos) continue;
+      const bool next_line = marker[6] == 'N';  // NOLINTNEXTLINE
+      const auto open = comment.text.find('(', at);
+      const auto close = comment.text.find(')', open);
+      if (close == std::string::npos) break;
+      // Parse the comma-separated rule list.
+      std::set<std::string> rules;
+      std::string list = comment.text.substr(open + 1, close - open - 1);
+      std::stringstream stream(list);
+      std::string rule;
+      bool any_scrubber = false;
+      while (std::getline(stream, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](unsigned char ch) {
+                                    return std::isspace(ch) != 0;
+                                  }),
+                   rule.end());
+        if (rule.rfind("scrubber-", 0) == 0) any_scrubber = true;
+        if (!rule.empty()) rules.insert(rule);
+      }
+      if (!any_scrubber) break;  // clang-tidy suppression, not ours
+      // Justification: required non-blank text after "):".
+      std::string after = comment.text.substr(close + 1);
+      bool justified = false;
+      if (!after.empty() && after[0] == ':') {
+        const std::string reason = after.substr(1);
+        justified = std::any_of(reason.begin(), reason.end(),
+                                [](unsigned char ch) {
+                                  return std::isspace(ch) == 0;
+                                });
+      }
+      const int target = next_line ? comment.line + 1 : comment.line;
+      if (!justified) {
+        out.malformed.push_back(Diagnostic{
+            file.rel_path, comment.line, "scrubber-nolint-needs-reason",
+            "NOLINT(scrubber-*) requires a justification: "
+            "`// NOLINT(scrubber-rule): why this is safe`"});
+      } else {
+        out.by_line[target].insert(rules.begin(), rules.end());
+      }
+      break;  // one NOLINT marker per comment
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+using Sink = std::vector<Diagnostic>;
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+void add(Sink& sink, const LexedFile& f, int line, const char* rule,
+         std::string message) {
+  sink.push_back(Diagnostic{f.rel_path, line, rule, std::move(message)});
+}
+
+/// scrubber-memory-order: atomic operations in src/runtime/ must pass an
+/// explicit std::memory_order. Matches `.op(` / `->op(` for the atomic
+/// member-function vocabulary and scans the balanced argument list for a
+/// memory_order* identifier.
+void rule_memory_order(const LexedFile& f, Sink& sink) {
+  if (!starts_with(f.rel_path, "src/runtime/")) return;
+  // `clear`/`test_and_set` (atomic_flag) are deliberately absent: `clear`
+  // collides with the container vocabulary and atomic_flag is unused.
+  static const std::set<std::string> kAtomicOps = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!t[i].is_identifier || kAtomicOps.count(t[i].text) == 0) continue;
+    const bool member_call =
+        t[i - 1].text == "." ||
+        (i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-");
+    if (!member_call || t[i + 1].text != "(") continue;
+    // Scan the balanced argument list for memory_order*.
+    int depth = 0;
+    bool found = false;
+    std::size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")" && --depth == 0) break;
+      if (t[j].is_identifier && starts_with(t[j].text, "memory_order")) {
+        found = true;
+      }
+    }
+    if (!found) {
+      add(sink, f, t[i].line, "scrubber-memory-order",
+          "atomic `" + t[i].text +
+              "` without an explicit std::memory_order (seq_cst-by-default "
+              "is banned in src/runtime/ — name the ordering the protocol "
+              "needs)");
+    }
+  }
+}
+
+/// scrubber-hot-path-blocking: inside // scrubber-hot-begin/end regions
+/// (the SPSC ring push/pop paths) no locks, condvars, or sleeps.
+void rule_hot_path_blocking(const LexedFile& f, Sink& sink) {
+  if (f.hot_regions.empty()) return;
+  static const std::set<std::string> kBlocking = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "shared_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any",
+      "sleep_for",      "sleep_until",
+      "wait",           "wait_for",
+      "wait_until",     "future",
+      "promise",
+  };
+  for (const HotRegion& region : f.hot_regions) {
+    if (region.begin_line == 0) {
+      add(sink, f, region.end_line, "scrubber-hot-path-blocking",
+          "scrubber-hot-end without a matching scrubber-hot-begin");
+      continue;
+    }
+    if (region.end_line == 0) {
+      add(sink, f, region.begin_line, "scrubber-hot-path-blocking",
+          "scrubber-hot-begin without a matching scrubber-hot-end");
+      continue;
+    }
+    for (const Token& token : f.tokens) {
+      if (token.line <= region.begin_line || token.line >= region.end_line) {
+        continue;
+      }
+      if (token.is_identifier && kBlocking.count(token.text) > 0) {
+        add(sink, f, token.line, "scrubber-hot-path-blocking",
+            "`" + token.text +
+                "` inside a scrubber-hot region — ring push/pop paths must "
+                "stay lock-free (spin/yield only)");
+      }
+    }
+  }
+}
+
+/// scrubber-raw-rand: all randomness flows through util/rng (seeded,
+/// reproducible); libc rand and std::random_device are banned elsewhere.
+void rule_raw_rand(const LexedFile& f, Sink& sink) {
+  if (starts_with(f.rel_path, "src/util/rng")) return;
+  static const std::set<std::string> kBanned = {
+      "rand", "srand", "rand_r", "drand48", "random_device",
+  };
+  for (const Token& token : f.tokens) {
+    if (token.is_identifier && kBanned.count(token.text) > 0) {
+      add(sink, f, token.line, "scrubber-raw-rand",
+          "`" + token.text +
+              "` is banned — draw from util::Rng (seeded, reproducible) "
+              "instead");
+    }
+  }
+}
+
+/// scrubber-float-counter: names that look like byte/packet counters must
+/// not be declared float/double. Derived quantities (means, rates, sizes,
+/// shares) are fine and excluded by name.
+void rule_float_counter(const LexedFile& f, Sink& sink) {
+  const auto counter_name = [](std::string name) {
+    std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    for (const char* derived : {"mean", "avg", "per", "rate", "size", "share",
+                                "frac", "ratio", "scale", "weight", "norm"}) {
+      if (name.find(derived) != std::string::npos) return false;
+    }
+    for (const char* unit : {"byte", "packet", "pkt"}) {
+      if (name.find(unit) != std::string::npos) return true;
+    }
+    return false;
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].is_identifier ||
+        (t[i].text != "float" && t[i].text != "double")) {
+      continue;
+    }
+    if (t[i + 1].is_identifier && counter_name(t[i + 1].text)) {
+      add(sink, f, t[i + 1].line, "scrubber-float-counter",
+          "byte/packet counter `" + t[i + 1].text + "` declared as " +
+              t[i].text +
+              " — counters accumulate in integers (precision loss at IXP "
+              "volumes is silent)");
+    }
+  }
+}
+
+/// scrubber-naked-new: no naked new/delete expressions. `= delete;`
+/// (deleted functions) is the one allowed spelling.
+void rule_naked_new(const LexedFile& f, Sink& sink) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_identifier) continue;
+    if (t[i].text == "new") {
+      add(sink, f, t[i].line, "scrubber-naked-new",
+          "naked `new` — use std::make_unique/containers; ownership must "
+          "be structural");
+    } else if (t[i].text == "delete") {
+      const bool deleted_function =
+          i > 0 && t[i - 1].text == "=" && i + 1 < t.size() &&
+          (t[i + 1].text == ";" || t[i + 1].text == ",");
+      if (!deleted_function) {
+        add(sink, f, t[i].line, "scrubber-naked-new",
+            "naked `delete` — if you need this, the ownership model is "
+            "already broken");
+      }
+    }
+  }
+}
+
+/// scrubber-include-guard: headers say #pragma once (and nothing else).
+void rule_include_guard(const LexedFile& f, Sink& sink) {
+  const bool is_header = f.rel_path.size() > 4 &&
+                         (f.rel_path.ends_with(".hpp") ||
+                          f.rel_path.ends_with(".h"));
+  if (!is_header) return;
+  bool has_pragma_once = false;
+  for (const Directive& d : f.directives) {
+    if (d.text.find("pragma") != std::string::npos &&
+        d.text.find("once") != std::string::npos) {
+      has_pragma_once = true;
+      break;
+    }
+  }
+  if (!has_pragma_once) {
+    add(sink, f, 1, "scrubber-include-guard",
+        "header without #pragma once (the project guard style; #ifndef "
+        "guards drift)");
+  }
+  // #ifndef-style guard: first two directives are #ifndef X / #define X.
+  if (f.directives.size() >= 2) {
+    const std::string& first = f.directives[0].text;
+    const std::string& second = f.directives[1].text;
+    if (first.find("ifndef") != std::string::npos &&
+        second.find("define") != std::string::npos) {
+      add(sink, f, f.directives[0].line, "scrubber-include-guard",
+          "#ifndef include guard — use #pragma once (project style)");
+    }
+  }
+}
+
+/// scrubber-banned-construct: std::regex and volatile are banned in
+/// src/, tools/ and bench/ (regex backtracks unboundedly; volatile is
+/// not synchronization — use std::atomic).
+void rule_banned_construct(const LexedFile& f, Sink& sink) {
+  for (const Directive& d : f.directives) {
+    if (d.text.find("<regex>") != std::string::npos) {
+      add(sink, f, d.line, "scrubber-banned-construct",
+          "#include <regex> — std::regex backtracking is unbounded; use "
+          "hand-rolled matching");
+    }
+  }
+  for (const Token& token : f.tokens) {
+    if (!token.is_identifier) continue;
+    if (token.text == "regex" || token.text == "basic_regex") {
+      add(sink, f, token.line, "scrubber-banned-construct",
+          "std::regex is banned (unbounded backtracking on hot paths)");
+    } else if (token.text == "volatile") {
+      add(sink, f, token.line, "scrubber-banned-construct",
+          "volatile is not synchronization — use std::atomic with an "
+          "explicit memory order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> kRules = {
+      "scrubber-memory-order",    "scrubber-hot-path-blocking",
+      "scrubber-raw-rand",        "scrubber-float-counter",
+      "scrubber-naked-new",       "scrubber-include-guard",
+      "scrubber-banned-construct", "scrubber-nolint-needs-reason",
+  };
+  return kRules;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+int run(const fs::path& root, const std::vector<std::string>& targets,
+        const std::set<std::string>& only_rules, Sink& sink) {
+  std::vector<fs::path> files;
+  for (const std::string& target : targets) {
+    const fs::path path = root / target;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "scrubber-lint: no such file or directory: %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "scrubber-lint: cannot read %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        fs::relative(path, root).generic_string();
+    const LexedFile lexed = lex(rel, buffer.str());
+    const Suppressions suppressions = parse_suppressions(lexed);
+
+    Sink raw;
+    rule_memory_order(lexed, raw);
+    rule_hot_path_blocking(lexed, raw);
+    rule_raw_rand(lexed, raw);
+    rule_float_counter(lexed, raw);
+    rule_naked_new(lexed, raw);
+    rule_include_guard(lexed, raw);
+    rule_banned_construct(lexed, raw);
+    for (const Diagnostic& d : suppressions.malformed) raw.push_back(d);
+
+    for (Diagnostic& d : raw) {
+      if (!only_rules.empty() && only_rules.count(d.rule) == 0) continue;
+      if (d.rule != "scrubber-nolint-needs-reason" &&
+          suppressions.covers(d.file, d.line, d.rule)) {
+        continue;
+      }
+      sink.push_back(std::move(d));
+    }
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: scrubber-lint [--root DIR] [--rule scrubber-...] PATH...\n"
+      "       scrubber-lint --list-rules\n"
+      "\n"
+      "Lints .cpp/.hpp files under each PATH (relative to --root, default\n"
+      "the current directory) against the scrubber-* project rules.\n"
+      "Exit status: 0 clean, 1 violations, 2 usage/IO error.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  std::set<std::string> only_rules;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        usage();
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--rule") {
+      if (++i >= argc) {
+        usage();
+        return 2;
+      }
+      only_rules.insert(argv[i]);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : all_rule_ids()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    usage();
+    return 2;
+  }
+
+  Sink sink;
+  const int status = run(root, targets, only_rules, sink);
+  if (status != 0) return status;
+  std::sort(sink.begin(), sink.end());
+  for (const Diagnostic& d : sink) {
+    std::printf("%s:%d: %s %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!sink.empty()) {
+    std::fprintf(stderr, "scrubber-lint: %zu violation%s\n", sink.size(),
+                 sink.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
