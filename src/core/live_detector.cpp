@@ -67,22 +67,25 @@ void LiveDetector::ingest_minute(std::uint32_t minute,
   if (warmed_up && due) retrain(minute);
   if (!scrubber_.trained() || flows.empty()) return;
 
-  // Detection pass over the live (unbalanced) minute.
+  // Detection pass over the live (unbalanced) minute: one batch scoring
+  // call for the whole minute (compiled-tree kernel), then per-record
+  // thresholding — scores match scrubber_.classify() bit-for-bit.
   const AggregatedDataset aggregated = scrubber_.aggregate(flows);
+  const std::vector<double> scores = scrubber_.score_all(aggregated);
   for (std::size_t i = 0; i < aggregated.size(); ++i) {
     if (aggregated.meta[i].flow_count < config_.min_flows_per_target) continue;
-    const Classification verdict = scrubber_.classify(aggregated, i);
-    if (!verdict.is_ddos) continue;
+    if (scores[i] < 0.5) continue;
     ++detections_;
     if (!sink_) continue;
     Detection detection;
     detection.minute = minute;
     detection.target = aggregated.meta[i].target;
-    detection.score = verdict.score;
+    detection.score = scores[i];
     detection.flow_count = aggregated.meta[i].flow_count;
     detection.vector = aggregated.meta[i].dominant_vector;
-    for (const auto* rule : verdict.matched_rules)
-      detection.acl_entries.push_back(acl_entry(*rule));
+    for (const std::uint32_t tag : aggregated.meta[i].rule_tags)
+      detection.acl_entries.push_back(
+          acl_entry(scrubber_.rules().rule_at(tag)));
     sink_(detection);
   }
 }

@@ -50,6 +50,10 @@ Classification IxpScrubber::classify(const AggregatedDataset& data,
   return result;
 }
 
+std::vector<double> IxpScrubber::score_all(const AggregatedDataset& data) const {
+  return pipeline_.score_all(data.data);
+}
+
 std::vector<int> IxpScrubber::predict_all(const AggregatedDataset& data) const {
   return pipeline_.predict_all(data.data);
 }

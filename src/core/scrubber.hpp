@@ -75,6 +75,11 @@ class IxpScrubber {
   [[nodiscard]] Classification classify(const AggregatedDataset& data,
                                         std::size_t index) const;
 
+  /// Batch scores over a whole aggregated dataset, one probability per
+  /// record — the compiled-tree fast path (bit-identical to classify()'s
+  /// per-record score; the live detector's per-minute pass uses this).
+  [[nodiscard]] std::vector<double> score_all(const AggregatedDataset& data) const;
+
   /// Batch predictions (0/1) over a whole aggregated dataset.
   [[nodiscard]] std::vector<int> predict_all(const AggregatedDataset& data) const;
 

@@ -50,13 +50,27 @@ std::vector<std::uint32_t> TagPredictor::predict(const AggregatedDataset& data,
   return out;
 }
 
+std::vector<std::vector<std::uint32_t>> TagPredictor::predict_all(
+    const AggregatedDataset& data) const {
+  std::vector<std::vector<std::uint32_t>> out(data.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const std::vector<double> scores = models_[m].score_all(data.data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (scores[i] >= config_.threshold) out[i].push_back(tags_[m]);
+    }
+  }
+  for (auto& tags : out) std::sort(tags.begin(), tags.end());
+  return out;
+}
+
 TagAgreement evaluate_tags(const TagPredictor& predictor,
                            const AggregatedDataset& data) {
   TagAgreement agreement;
   const auto& learned = predictor.learned_tags();
+  const auto all_predicted = predictor.predict_all(data);
   std::uint64_t tp = 0, fp = 0, fn = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const auto predicted = predictor.predict(data, i);
+    const auto& predicted = all_predicted[i];
     // Ground truth restricted to learnable tags.
     std::vector<std::uint32_t> truth;
     for (const std::uint32_t tag : data.meta[i].rule_tags) {

@@ -39,6 +39,12 @@ class TagPredictor {
   [[nodiscard]] std::vector<std::uint32_t> predict(const AggregatedDataset& data,
                                                    std::size_t index) const;
 
+  /// Predicted tag sets for every record: each one-vs-rest model scores
+  /// the whole dataset in one batch pass instead of per row. Identical
+  /// output to calling predict() per index.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> predict_all(
+      const AggregatedDataset& data) const;
+
   /// Rule tags this predictor learned to emit.
   [[nodiscard]] const std::vector<std::uint32_t>& learned_tags() const noexcept {
     return tags_;

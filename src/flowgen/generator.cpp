@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 namespace scrubber::flowgen {
 namespace {
@@ -165,7 +169,9 @@ void TrafficGenerator::schedule_attacks(std::uint32_t start_minute,
         start_minute + static_cast<std::uint32_t>(rng.below(minutes));
     const double duration = 1.0 + rng.exponential(1.0 / profile_.attack_duration_mean_min);
     attack.end_minute =
-        attack.start_minute + static_cast<std::uint32_t>(std::min(duration, 120.0));
+        attack.start_minute +
+        static_cast<std::uint32_t>(
+            std::min(duration, static_cast<double>(kMaxAttackDurationMin)));
 
     // Resample the vector until one active at the attack start is found.
     const std::vector<double> weights = modulated_weights(attack.start_minute);
@@ -247,7 +253,7 @@ void TrafficGenerator::schedule_attacks(std::uint32_t start_minute,
 
 void TrafficGenerator::emit_benign_flow(std::uint32_t minute,
                                         std::vector<net::FlowRecord>& out,
-                                        util::Rng& rng) {
+                                        util::Rng& rng) const {
   static const std::vector<double> kWeights = [] {
     std::vector<double> w;
     for (const auto& svc : kBenignServices) w.push_back(svc.weight);
@@ -311,7 +317,7 @@ void TrafficGenerator::emit_benign_flow(std::uint32_t minute,
 void TrafficGenerator::emit_benign_flow_to(std::uint32_t minute,
                                            net::Ipv4Address dst,
                                            std::vector<net::FlowRecord>& out,
-                                           util::Rng& rng) {
+                                           util::Rng& rng) const {
   // Legitimate traffic still reaching an attacked host: web/API responses
   // and requests addressed to the victim.
   net::FlowRecord flow;
@@ -332,7 +338,7 @@ void TrafficGenerator::emit_benign_flow_to(std::uint32_t minute,
 void TrafficGenerator::emit_attack_flows(std::uint32_t minute,
                                          const AttackEvent& attack,
                                          std::vector<net::FlowRecord>& out,
-                                         util::Rng& rng) {
+                                         util::Rng& rng) const {
   const auto flow_count = rng.poisson(attack.flows_per_minute);
   const VectorTraffic& model = vector_traffic(attack.vector);
   const net::VectorSignature* signature = nullptr;
@@ -378,55 +384,137 @@ void TrafficGenerator::emit_attack_flows(std::uint32_t minute,
   }
 }
 
+void TrafficGenerator::generate_minute(std::uint32_t minute, Labeling labeling,
+                                       std::vector<net::FlowRecord>& out) const {
+  // One RNG stream per minute, derived from (seed, minute): the minute's
+  // bytes depend on nothing generated for any other minute, so minutes
+  // can be produced in any order — or concurrently — with identical
+  // output.
+  util::Rng rng = util::Rng(seed_).fork(0xF10775).fork(minute);
+  const std::size_t first = out.size();
+
+  // Benign background.
+  const auto benign = rng.poisson(profile_.benign_flows_per_minute);
+  for (std::uint64_t i = 0; i < benign; ++i) emit_benign_flow(minute, out, rng);
+
+  // Attacks active this minute, in schedule (start, then insertion)
+  // order. attacks_ is sorted by start_minute and durations are capped at
+  // kMaxAttackDurationMin, so only starts inside that trailing window
+  // can still be live.
+  const std::uint32_t window_start =
+      minute > kMaxAttackDurationMin ? minute - kMaxAttackDurationMin : 0;
+  auto it = std::lower_bound(
+      attacks_.begin(), attacks_.end(), window_start,
+      [](const AttackEvent& a, std::uint32_t m) { return a.start_minute < m; });
+  for (; it != attacks_.end() && it->start_minute <= minute; ++it) {
+    const AttackEvent& attack = *it;
+    if (attack.end_minute <= minute) continue;
+    emit_attack_flows(minute, attack, out, rng);
+    // Benign traffic that keeps flowing to the victim during the attack.
+    const auto benign_to_victim = rng.poisson(
+        attack.flows_per_minute * profile_.benign_victim_flow_fraction);
+    for (std::uint64_t i = 0; i < benign_to_victim; ++i)
+      emit_benign_flow_to(minute, attack.victim, out, rng);
+  }
+
+  // Label.
+  if (labeling == Labeling::kBlackholeRegistry) {
+    for (std::size_t i = first; i < out.size(); ++i)
+      out[i].blackholed = registry_.is_blackholed(out[i].dst_ip, minute);
+  } else {
+    // Ground truth: a flow is an attack flow iff it originates from the
+    // reflector address space (128.0.0.0/2) towards a victim host.
+    for (std::size_t i = first; i < out.size(); ++i)
+      out[i].blackholed = (out[i].src_ip.value() >> 30) == 2;
+  }
+}
+
 void TrafficGenerator::generate_stream(std::uint32_t start_minute,
                                        std::uint32_t minutes, Labeling labeling,
-                                       const MinuteSink& sink) {
+                                       const MinuteSink& sink,
+                                       unsigned threads) {
   util::Rng schedule_rng = util::Rng(seed_).fork(0xA77ACC);
   schedule_attacks(start_minute, minutes, schedule_rng);
 
-  util::Rng rng = util::Rng(seed_).fork(0xF10775);
-  std::vector<net::FlowRecord> batch;
-  std::size_t next_attack = 0;
-  std::vector<const AttackEvent*> active;
-
-  for (std::uint32_t m = start_minute; m < start_minute + minutes; ++m) {
-    batch.clear();
-
-    // Benign background.
-    const auto benign = rng.poisson(profile_.benign_flows_per_minute);
-    for (std::uint64_t i = 0; i < benign; ++i) emit_benign_flow(m, batch, rng);
-
-    // Active attacks this minute.
-    while (next_attack < attacks_.size() &&
-           attacks_[next_attack].start_minute <= m) {
-      active.push_back(&attacks_[next_attack]);
-      ++next_attack;
+  if (threads <= 1 || minutes <= 1) {
+    std::vector<net::FlowRecord> batch;
+    for (std::uint32_t m = start_minute; m < start_minute + minutes; ++m) {
+      batch.clear();
+      generate_minute(m, labeling, batch);
+      sink(m, batch);
     }
-    std::erase_if(active,
-                  [m](const AttackEvent* a) { return a->end_minute <= m; });
-
-    for (const AttackEvent* attack : active) {
-      emit_attack_flows(m, *attack, batch, rng);
-      // Benign traffic that keeps flowing to the victim during the attack.
-      const auto benign_to_victim = rng.poisson(
-          attack->flows_per_minute * profile_.benign_victim_flow_fraction);
-      for (std::uint64_t i = 0; i < benign_to_victim; ++i)
-        emit_benign_flow_to(m, attack->victim, batch, rng);
-    }
-
-    // Label.
-    if (labeling == Labeling::kBlackholeRegistry) {
-      for (auto& flow : batch)
-        flow.blackholed = registry_.is_blackholed(flow.dst_ip, m);
-    } else {
-      // Ground truth: a flow is an attack flow iff it originates from the
-      // reflector address space (128.0.0.0/2) towards a victim host.
-      for (auto& flow : batch)
-        flow.blackholed = (flow.src_ip.value() >> 30) == 2;
-    }
-
-    sink(m, batch);
+    return;
   }
+
+  // Parallel path: workers claim minute indices and fill a bounded ring
+  // of slots; this (the calling) thread consumes slots in minute order
+  // and invokes the sink, preserving the serial sink contract. The slot
+  // window bounds memory to `window` minutes of flows.
+  const std::uint64_t total = minutes;
+  const std::uint64_t window = 4ULL * threads;
+  struct Slot {
+    std::vector<net::FlowRecord> flows;
+    std::atomic<std::uint64_t> ready{0};  ///< minute index + 1 once filled
+  };
+  std::vector<Slot> slots(window);
+  std::atomic<std::uint64_t> next{0};     // next minute index to claim
+  std::atomic<std::uint64_t> emitted{0};  // minutes already sunk
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        // Wait for the slot's previous occupant (minute i - window) to be
+        // emitted before overwriting it.
+        while (i >= emitted.load(std::memory_order_acquire) + window) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          std::this_thread::yield();
+        }
+        Slot& slot = slots[i % window];
+        try {
+          slot.flows.clear();
+          generate_minute(start_minute + static_cast<std::uint32_t>(i),
+                          labeling, slot.flows);
+        } catch (...) {
+          {
+            const std::scoped_lock lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+          return;
+        }
+        slot.ready.store(i + 1, std::memory_order_release);
+      }
+    });
+  }
+
+  try {
+    for (std::uint64_t i = 0; i < total; ++i) {
+      Slot& slot = slots[i % window];
+      while (slot.ready.load(std::memory_order_acquire) != i + 1) {
+        if (failed.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+      }
+      if (failed.load(std::memory_order_acquire)) break;
+      sink(start_minute + static_cast<std::uint32_t>(i), slot.flows);
+      slot.flows.clear();
+      emitted.store(i + 1, std::memory_order_release);
+    }
+  } catch (...) {
+    {
+      const std::scoped_lock lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+    failed.store(true, std::memory_order_release);
+  }
+  for (auto& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
 }
 
 GeneratedTrace TrafficGenerator::generate(std::uint32_t start_minute,

@@ -26,6 +26,11 @@
 
 namespace scrubber::flowgen {
 
+/// Upper bound on one attack's duration (minutes). Bounds the window of
+/// attack starts that can affect a given minute, which is what lets
+/// minutes generate independently (and therefore in parallel).
+inline constexpr std::uint32_t kMaxAttackDurationMin = 120;
+
 /// One scheduled DDoS attack.
 struct AttackEvent {
   std::uint32_t start_minute = 0;
@@ -62,8 +67,15 @@ class TrafficGenerator {
 
   /// Generates minutes [start_minute, start_minute + minutes) and streams
   /// each minute's flows into `sink`.
+  ///
+  /// Every minute draws from its own RNG stream derived from (seed,
+  /// minute), so the trace bytes depend only on the seed and the range —
+  /// `threads` > 1 generates minute bins concurrently on worker threads
+  /// while this (the calling) thread still invokes `sink` in minute
+  /// order. Output is byte-identical for every thread count.
   void generate_stream(std::uint32_t start_minute, std::uint32_t minutes,
-                       Labeling labeling, const MinuteSink& sink);
+                       Labeling labeling, const MinuteSink& sink,
+                       unsigned threads = 1);
 
   /// Convenience: materializes the whole trace (use for short ranges).
   [[nodiscard]] GeneratedTrace generate(std::uint32_t start_minute,
@@ -98,12 +110,20 @@ class TrafficGenerator {
  private:
   void schedule_attacks(std::uint32_t start_minute, std::uint32_t minutes,
                         util::Rng& rng);
+  /// Appends minute `minute`'s labeled flows to `out` using the minute's
+  /// own derived RNG stream. Const and data-race-free against concurrent
+  /// calls for other minutes (reads only the frozen schedule/registry),
+  /// which is what the parallel generate_stream path relies on.
+  void generate_minute(std::uint32_t minute, Labeling labeling,
+                       std::vector<net::FlowRecord>& out) const;
   void emit_benign_flow(std::uint32_t minute, std::vector<net::FlowRecord>& out,
-                        util::Rng& rng);
+                        util::Rng& rng) const;
   void emit_benign_flow_to(std::uint32_t minute, net::Ipv4Address dst,
-                           std::vector<net::FlowRecord>& out, util::Rng& rng);
+                           std::vector<net::FlowRecord>& out,
+                           util::Rng& rng) const;
   void emit_attack_flows(std::uint32_t minute, const AttackEvent& attack,
-                         std::vector<net::FlowRecord>& out, util::Rng& rng);
+                         std::vector<net::FlowRecord>& out,
+                         util::Rng& rng) const;
 
   [[nodiscard]] net::Ipv4Address member_host(std::uint32_t member,
                                              std::uint32_t host) const noexcept;

@@ -31,12 +31,21 @@ class Classifier {
     return score(row) >= 0.5 ? 1 : 0;
   }
 
-  /// Batch prediction over all rows of a dataset.
+  /// Scores every row of `data` into `out` (size n_rows). The default
+  /// loops score(); tree models override with a compiled batch kernel.
+  /// Overrides must stay bit-identical to the per-row score() path.
+  virtual void score_batch(const Dataset& data, std::span<double> out) const {
+    for (std::size_t i = 0; i < data.n_rows(); ++i) out[i] = score(data.row(i));
+  }
+
+  /// Batch prediction over all rows of a dataset (thresholds score_batch
+  /// at 0.5, matching predict()).
   [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const {
+    std::vector<double> scores(data.n_rows(), 0.0);
+    score_batch(data, scores);
     std::vector<int> out;
-    out.reserve(data.n_rows());
-    for (std::size_t i = 0; i < data.n_rows(); ++i)
-      out.push_back(predict(data.row(i)));
+    out.reserve(scores.size());
+    for (const double s : scores) out.push_back(s >= 0.5 ? 1 : 0);
     return out;
   }
 

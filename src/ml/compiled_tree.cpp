@@ -1,0 +1,122 @@
+#include "ml/compiled_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/dataset.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+/// Rows traversed per kernel block: enough independent walks to hide
+/// node-fetch latency, small enough for stack-resident cursors.
+constexpr std::size_t kBlockRows = 16;
+
+/// Same sigmoid expression as the GBT scalar path (gbt.cpp) — batch and
+/// scalar scores must agree bit-for-bit.
+[[nodiscard]] double sigmoid(double x) noexcept {
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// The one traversal rule, verbatim from DecisionTree::score /
+/// GradientBoostedTrees::margin: missing (NaN) or out-of-range features
+/// read as -1.0; v <= threshold goes left.
+[[nodiscard]] std::uint32_t step(const CompiledNode& node, const double* row,
+                                 std::size_t width) noexcept {
+  const double v = node.feature < width && !is_missing(row[node.feature])
+                       ? row[node.feature]
+                       : -1.0;
+  return static_cast<std::uint32_t>(v <= node.threshold ? node.left
+                                                        : node.right);
+}
+
+[[nodiscard]] double traverse(const CompiledNode* nodes, std::uint32_t root,
+                              const double* row, std::size_t width) noexcept {
+  std::uint32_t index = root;
+  while (!nodes[index].is_leaf()) index = step(nodes[index], row, width);
+  return nodes[index].value;
+}
+
+/// Walks a block of rows through one tree in lockstep: each pass advances
+/// every still-active row one level, so the independent node fetches
+/// overlap instead of serializing down one row's path.
+/// `cursor` holds each row's current node and ends at its leaf.
+// scrubber-hot-begin
+void walk_block(const CompiledNode* nodes, std::uint32_t root,
+                const double* rows, std::size_t width, std::size_t n,
+                std::uint32_t* cursor) noexcept {
+  for (std::size_t j = 0; j < n; ++j) cursor[j] = root;
+  bool active = true;
+  while (active) {
+    active = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      const CompiledNode& node = nodes[cursor[j]];
+      if (node.is_leaf()) continue;
+      cursor[j] = step(node, rows + j * width, width);
+      active = true;
+    }
+  }
+}
+// scrubber-hot-end
+
+}  // namespace
+
+double CompiledTree::predict(std::span<const double> row) const noexcept {
+  if (nodes_.empty()) return 0.5;  // matches DecisionTree::score
+  return traverse(nodes_.data(), 0, row.data(), row.size());
+}
+
+void CompiledTree::predict_batch(std::span<const double> rows,
+                                 std::size_t width,
+                                 std::span<double> out) const noexcept {
+  const std::size_t n = out.size();
+  if (nodes_.empty()) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return;
+  }
+  std::uint32_t cursor[kBlockRows];
+  for (std::size_t base = 0; base < n; base += kBlockRows) {
+    const std::size_t m = std::min(kBlockRows, n - base);
+    walk_block(nodes_.data(), 0, rows.data() + base * width, width, m, cursor);
+    for (std::size_t j = 0; j < m; ++j) out[base + j] = nodes_[cursor[j]].value;
+  }
+}
+
+double CompiledForest::margin(std::span<const double> row) const noexcept {
+  double total = base_margin_;
+  for (const std::uint32_t root : roots_) {
+    total += traverse(nodes_.data(), root, row.data(), row.size());
+  }
+  return total;
+}
+
+double CompiledForest::score(std::span<const double> row) const noexcept {
+  return sigmoid(margin(row));
+}
+
+void CompiledForest::margin_batch(std::span<const double> rows,
+                                  std::size_t width,
+                                  std::span<double> out) const noexcept {
+  std::fill(out.begin(), out.end(), base_margin_);
+  const std::size_t n = out.size();
+  std::uint32_t cursor[kBlockRows];
+  for (const std::uint32_t root : roots_) {
+    for (std::size_t base = 0; base < n; base += kBlockRows) {
+      const std::size_t m = std::min(kBlockRows, n - base);
+      walk_block(nodes_.data(), root, rows.data() + base * width, width, m,
+                 cursor);
+      for (std::size_t j = 0; j < m; ++j) {
+        out[base + j] += nodes_[cursor[j]].value;
+      }
+    }
+  }
+}
+
+void CompiledForest::score_batch(std::span<const double> rows,
+                                 std::size_t width,
+                                 std::span<double> out) const noexcept {
+  margin_batch(rows, width, out);
+  for (double& s : out) s = sigmoid(s);
+}
+
+}  // namespace scrubber::ml

@@ -1,0 +1,143 @@
+#pragma once
+// Compiled (flattened) form of the tree models for batch inference.
+//
+// Training-side trees (DecisionTree::Node, GradientBoostedTrees::Node)
+// carry bookkeeping (sample counts, impurity) and live wherever the
+// builder left them, including nodes orphaned by ccp pruning. Compilation
+// re-lays the reachable nodes out breadth-first in one contiguous array —
+// a level's nodes are adjacent, children sit left-to-right after their
+// parents — so batch traversal walks a dense, prefetch-friendly table
+// instead of chasing scattered indices.
+//
+// Semantics contract (tests/ml/compiled_tree_test.cpp): predict() and
+// predict_batch() are BIT-IDENTICAL to the training-side scalar score()
+// for every input, including NaN (missing) cells, feature indices beyond
+// the row width, and values exactly on a threshold. The traversal rule is
+// copied verbatim: a missing or out-of-range feature reads as -1.0, and
+// `v <= threshold` goes left.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scrubber::ml {
+
+/// One node of a compiled tree. 32 bytes, hot fields first.
+struct CompiledNode {
+  double threshold = 0.0;   ///< split point (internal nodes)
+  double value = 0.0;       ///< leaf payload (DT: probability, GBT: weight)
+  std::int32_t left = -1;   ///< child for v <= threshold; -1 = leaf
+  std::int32_t right = -1;  ///< child for v > threshold
+  std::uint32_t feature = 0;
+
+  [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+};
+
+namespace detail {
+
+/// Appends the BFS re-layout of `nodes` (rooted at index 0) to `out`,
+/// dropping unreachable nodes. Child links are absolute indices into
+/// `out`, so concatenated trees traverse without per-tree bases.
+template <typename Node>
+void flatten_bfs(const std::vector<Node>& nodes,
+                 std::vector<CompiledNode>& out) {
+  if (nodes.empty()) return;
+  const std::size_t base = out.size();
+  std::vector<std::size_t> order{0};  // BFS order of original indices
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const Node& src = nodes[order[head]];
+    CompiledNode node;
+    node.threshold = src.threshold;
+    node.value = src.value;
+    node.feature = src.feature;
+    if (src.left >= 0) {
+      node.left = static_cast<std::int32_t>(base + order.size());
+      order.push_back(static_cast<std::size_t>(src.left));
+      node.right = static_cast<std::int32_t>(base + order.size());
+      order.push_back(static_cast<std::size_t>(src.right));
+    }
+    out.push_back(node);
+  }
+}
+
+}  // namespace detail
+
+/// A single flattened decision tree (compiled DecisionTree).
+class CompiledTree {
+ public:
+  CompiledTree() = default;
+
+  /// Compiles any node array with {left,right,feature,threshold,value}
+  /// fields and root at index 0.
+  template <typename Node>
+  [[nodiscard]] static CompiledTree compile(const std::vector<Node>& nodes) {
+    CompiledTree out;
+    detail::flatten_bfs(nodes, out.nodes_);
+    return out;
+  }
+
+  /// Scalar prediction; identical to DecisionTree::score (empty → 0.5).
+  [[nodiscard]] double predict(std::span<const double> row) const noexcept;
+
+  /// Predicts out.size() rows stored contiguously in `rows` (row-major,
+  /// `width` doubles each). Bit-identical to per-row predict().
+  void predict_batch(std::span<const double> rows, std::size_t width,
+                     std::span<double> out) const noexcept;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const std::vector<CompiledNode>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  std::vector<CompiledNode> nodes_;
+};
+
+/// A flattened GBT ensemble: every tree BFS-compiled into one shared node
+/// array, one root offset per tree.
+class CompiledForest {
+ public:
+  CompiledForest() = default;
+
+  template <typename Tree>
+  [[nodiscard]] static CompiledForest compile(const std::vector<Tree>& trees,
+                                              double base_margin) {
+    CompiledForest out;
+    out.base_margin_ = base_margin;
+    out.roots_.reserve(trees.size());
+    for (const Tree& tree : trees) {
+      out.roots_.push_back(static_cast<std::uint32_t>(out.nodes_.size()));
+      detail::flatten_bfs(tree, out.nodes_);
+    }
+    return out;
+  }
+
+  /// Raw additive margin; identical to GradientBoostedTrees::margin.
+  [[nodiscard]] double margin(std::span<const double> row) const noexcept;
+
+  /// Sigmoid of margin; identical to GradientBoostedTrees::score.
+  [[nodiscard]] double score(std::span<const double> row) const noexcept;
+
+  /// Margins for out.size() contiguous rows. Trees are walked tree-major
+  /// (all rows through tree t before tree t+1) so a tree's node table
+  /// stays cache-resident; per-row accumulation order still matches the
+  /// scalar path (base margin, then trees in order) — bit-identical.
+  void margin_batch(std::span<const double> rows, std::size_t width,
+                    std::span<double> out) const noexcept;
+
+  /// Scores (sigmoid of margin) for out.size() contiguous rows.
+  void score_batch(std::span<const double> rows, std::size_t width,
+                   std::span<double> out) const noexcept;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] double base_margin() const noexcept { return base_margin_; }
+
+ private:
+  std::vector<CompiledNode> nodes_;
+  std::vector<std::uint32_t> roots_;
+  double base_margin_ = 0.0;
+};
+
+}  // namespace scrubber::ml

@@ -137,11 +137,13 @@ void DecisionTree::fit(const Dataset& data) {
   nodes_.clear();
   if (data.n_rows() == 0) {
     nodes_.push_back(Node{});
+    compiled_ = CompiledTree::compile(nodes_);
     return;
   }
   TreeBuilder builder(data, params_, nodes_);
   builder.build();
   if (params_.ccp_alpha > 0.0) prune_ccp();
+  compiled_ = CompiledTree::compile(nodes_);
 }
 
 void DecisionTree::prune_ccp() {
@@ -196,6 +198,11 @@ double DecisionTree::score(std::span<const double> row) const {
     index = static_cast<std::size_t>(v <= node.threshold ? node.left : node.right);
   }
   return nodes_[index].value;
+}
+
+void DecisionTree::score_batch(const Dataset& data,
+                               std::span<double> out) const {
+  compiled_.predict_batch(data.raw(), data.n_cols(), out);
 }
 
 std::size_t DecisionTree::depth() const noexcept {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "ml/compiled_tree.hpp"
 
 namespace scrubber::ml {
 
@@ -28,6 +29,9 @@ class DecisionTree final : public Classifier {
 
   void fit(const Dataset& data) override;
   [[nodiscard]] double score(std::span<const double> row) const override;
+  /// Batch scoring through the compiled (flattened) tree; bit-identical
+  /// to per-row score().
+  void score_batch(const Dataset& data, std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "DT"; }
   [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<DecisionTree>(*this);
@@ -58,7 +62,15 @@ class DecisionTree final : public Classifier {
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
 
   /// Rebuilds a trained tree (model_io).
-  void restore(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+  void restore(std::vector<Node> nodes) {
+    nodes_ = std::move(nodes);
+    compiled_ = CompiledTree::compile(nodes_);
+  }
+
+  /// Flattened batch-inference form, rebuilt by fit()/restore().
+  [[nodiscard]] const CompiledTree& compiled() const noexcept {
+    return compiled_;
+  }
 
  private:
   friend class TreeBuilder;
@@ -67,6 +79,7 @@ class DecisionTree final : public Classifier {
 
   DecisionTreeParams params_;
   std::vector<Node> nodes_;
+  CompiledTree compiled_;
 };
 
 }  // namespace scrubber::ml

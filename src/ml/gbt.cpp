@@ -89,6 +89,7 @@ void GradientBoostedTrees::fit(const Dataset& data) {
   const std::size_t n = data.n_rows();
   if (n == 0) {
     base_margin_ = 0.0;
+    compiled_ = CompiledForest::compile(trees_, base_margin_);
     return;
   }
   // Initialize the margin at the log-odds of the base rate.
@@ -229,6 +230,7 @@ void GradientBoostedTrees::fit(const Dataset& data) {
     for (std::size_t i = 0; i < n; ++i) margin[i] += tree[row_node[i]].value;
     trees_.push_back(std::move(tree));
   }
+  compiled_ = CompiledForest::compile(trees_, base_margin_);
 }
 
 double GradientBoostedTrees::margin(std::span<const double> row) const {
@@ -251,6 +253,11 @@ double GradientBoostedTrees::score(std::span<const double> row) const {
   return sigmoid(margin(row));
 }
 
+void GradientBoostedTrees::score_batch(const Dataset& data,
+                                       std::span<double> out) const {
+  compiled_.score_batch(data.raw(), data.n_cols(), out);
+}
+
 std::vector<FeatureGain> GradientBoostedTrees::gain_importance() const {
   std::vector<FeatureGain> sorted = importance_;
   std::erase_if(sorted, [](const FeatureGain& g) { return g.split_count == 0; });
@@ -268,6 +275,7 @@ void GradientBoostedTrees::restore(std::vector<Tree> trees, double base_margin,
   base_margin_ = base_margin;
   params_ = params;
   importance_ = std::move(importance);
+  compiled_ = CompiledForest::compile(trees_, base_margin_);
 }
 
 }  // namespace scrubber::ml

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "ml/compiled_tree.hpp"
 
 namespace scrubber::ml {
 
@@ -50,6 +51,9 @@ class GradientBoostedTrees final : public Classifier {
 
   void fit(const Dataset& data) override;
   [[nodiscard]] double score(std::span<const double> row) const override;
+  /// Batch scoring through the compiled (flattened) forest; bit-identical
+  /// to per-row score().
+  void score_batch(const Dataset& data, std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "XGB"; }
   [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<GradientBoostedTrees>(*this);
@@ -83,11 +87,17 @@ class GradientBoostedTrees final : public Classifier {
   void restore(std::vector<Tree> trees, double base_margin, GbtParams params,
                std::vector<FeatureGain> importance);
 
+  /// Flattened batch-inference form, rebuilt by fit()/restore().
+  [[nodiscard]] const CompiledForest& compiled() const noexcept {
+    return compiled_;
+  }
+
  private:
   GbtParams params_;
   std::vector<Tree> trees_;
   double base_margin_ = 0.0;
   std::vector<FeatureGain> importance_;
+  CompiledForest compiled_;
 };
 
 }  // namespace scrubber::ml

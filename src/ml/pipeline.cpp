@@ -67,11 +67,19 @@ double Pipeline::score(std::span<const double> row) const {
   return classifier_->score(features);
 }
 
+std::vector<double> Pipeline::score_all(const Dataset& data) const {
+  if (!classifier_) throw std::logic_error("pipeline has no classifier");
+  const Dataset transformed = transform_dataset(data);
+  std::vector<double> out(transformed.n_rows(), 0.0);
+  classifier_->score_batch(transformed, out);
+  return out;
+}
+
 std::vector<int> Pipeline::predict_all(const Dataset& data) const {
+  const std::vector<double> scores = score_all(data);
   std::vector<int> out;
-  out.reserve(data.n_rows());
-  for (std::size_t i = 0; i < data.n_rows(); ++i)
-    out.push_back(predict(data.row(i)));
+  out.reserve(scores.size());
+  for (const double s : scores) out.push_back(s >= 0.5 ? 1 : 0);
   return out;
 }
 

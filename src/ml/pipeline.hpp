@@ -39,6 +39,12 @@ class Pipeline {
   /// Probability-like score for a raw feature row.
   [[nodiscard]] double score(std::span<const double> row) const;
 
+  /// Scores every raw row of `data` in one pass: transforms the dataset
+  /// stage-by-stage, then hands the materialized matrix to the
+  /// classifier's batch kernel. Every stage is row-independent, so the
+  /// scores are bit-identical to per-row score().
+  [[nodiscard]] std::vector<double> score_all(const Dataset& data) const;
+
   /// Hard prediction for a raw feature row.
   [[nodiscard]] int predict(std::span<const double> row) const {
     return score(row) >= 0.5 ? 1 : 0;

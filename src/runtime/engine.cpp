@@ -17,13 +17,17 @@ std::uint64_t now_ns() noexcept {
 Engine::Engine(EngineConfig config, core::MinuteBatchSink minute_sink)
     : config_(config),
       minute_sink_(std::move(minute_sink)),
-      input_ring_(config.queue_capacity),
+      batch_records_(effective_batch_records(config.batch_records,
+                                             config.queue_capacity)),
+      input_ring_(batch_ring_slots(config.queue_capacity, batch_records_)),
       score_ring_(std::max<std::size_t>(16, config.queue_capacity / 16)),
       start_(std::chrono::steady_clock::now()) {
+  pending_.events.reserve(batch_records_);
   ShardedCollectorConfig sharded_config;
   sharded_config.shards = config_.shards;
   sharded_config.collector = config_.collector;
   sharded_config.queue_capacity = config_.queue_capacity;
+  sharded_config.batch_records = config_.batch_records;
   sharded_ = std::make_unique<ShardedCollector>(
       sharded_config,
       [this](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
@@ -55,20 +59,40 @@ Engine::~Engine() {
   }
 }
 
+bool Engine::flush_pending(bool block) {
+  if (pending_.events.empty()) return true;
+  if (block) {
+    input_ring_.push_blocking(std::move(pending_), abort_);
+  } else if (!input_ring_.try_push(std::move(pending_))) {
+    return false;  // ring full; batch stays pending (try_push left it intact)
+  }
+  pending_ = InputBatch{};
+  pending_.events.reserve(batch_records_);
+  decode_.note_queue_depth(input_ring_.size() * batch_records_);
+  return true;
+}
+
 bool Engine::submit(InputEvent&& event) {
   const bool control = event.kind == InputEvent::Kind::kBgp ||
                        event.kind == InputEvent::Kind::kFinish;
-  if (config_.backpressure == Backpressure::kBlock || control) {
-    input_ring_.push_blocking(std::move(event), abort_);
-    decode_.note_queue_depth(input_ring_.size());
-    return true;
-  }
-  if (!input_ring_.try_push(std::move(event))) {
+  const bool block = config_.backpressure == Backpressure::kBlock || control;
+  if (pending_.events.size() >= batch_records_ && !flush_pending(block)) {
+    // kDrop with a full ring: shed only the incoming data event. The
+    // pending batch is kept and retried on the next submission, so
+    // accepted events are never lost and drops count rejected pushes 1:1.
     input_drops_.fetch_add(1, std::memory_order_relaxed);
     decode_.add_drop();
     return false;
   }
-  decode_.note_queue_depth(input_ring_.size());
+  pending_.events.push_back(std::move(event));
+  if (control) {
+    // Control events cut the batch: BGP ordering relative to data is the
+    // submission order, and control is never deferred behind a partial
+    // batch (nor ever dropped — the flush blocks under either policy).
+    flush_pending(true);
+  } else if (pending_.events.size() >= batch_records_) {
+    flush_pending(config_.backpressure == Backpressure::kBlock);
+  }
   return true;
 }
 
@@ -128,54 +152,58 @@ void Engine::finish() {
 }
 
 void Engine::decode_worker() {
-  InputEvent event;
+  InputBatch batch;
   for (;;) {
-    if (!input_ring_.try_pop(event)) {
+    if (!input_ring_.try_pop(batch)) {
       if (abort_.load(std::memory_order_relaxed)) return;
       std::this_thread::yield();
       continue;
     }
-    decode_.add_in();
-    switch (event.kind) {
-      case InputEvent::Kind::kWire: {
-        const std::uint64_t begin = now_ns();
-        try {
-          event.datagram = net::SflowDatagram::decode(event.wire);
-        } catch (const net::SflowDecodeError&) {
-          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    for (InputEvent& event : batch.events) {
+      decode_.add_in();
+      switch (event.kind) {
+        case InputEvent::Kind::kWire: {
+          const std::uint64_t begin = now_ns();
+          try {
+            event.datagram = net::SflowDatagram::decode(event.wire);
+          } catch (const net::SflowDecodeError&) {
+            decode_errors_.fetch_add(1, std::memory_order_relaxed);
+            decode_.add_busy_ns(now_ns() - begin);
+            continue;
+          }
           decode_.add_busy_ns(now_ns() - begin);
-          continue;
+          [[fallthrough]];
         }
-        decode_.add_busy_ns(now_ns() - begin);
-        [[fallthrough]];
-      }
-      case InputEvent::Kind::kDatagram: {
-        const std::uint64_t begin = now_ns();
-        datagrams_.fetch_add(1, std::memory_order_relaxed);
-        sharded_->ingest(event.datagram);
-        decode_.add_out();
-        route_.add_in();
-        route_.add_out();
-        route_.add_busy_ns(now_ns() - begin);
-        break;
-      }
-      case InputEvent::Kind::kBgp: {
-        const std::uint64_t begin = now_ns();
-        bgp_updates_.fetch_add(1, std::memory_order_relaxed);
-        sharded_->ingest_bgp(event.update, event.now_ms);
-        decode_.add_out();
-        route_.add_busy_ns(now_ns() - begin);
-        break;
-      }
-      case InputEvent::Kind::kFinish: {
-        sharded_->finish();  // all minute batches now sit in the score ring
-        // finish() joined the merge thread, so the score ring's producer
-        // endpoint hands off to this thread for the final sentinel.
-        score_ring_.adopt_producer();
-        ScoreItem fin;
-        fin.finish = true;
-        score_ring_.push_blocking(std::move(fin), abort_);
-        return;
+        case InputEvent::Kind::kDatagram: {
+          const std::uint64_t begin = now_ns();
+          datagrams_.fetch_add(1, std::memory_order_relaxed);
+          sharded_->ingest(event.datagram);
+          decode_.add_out();
+          route_.add_in();
+          route_.add_out();
+          route_.add_busy_ns(now_ns() - begin);
+          break;
+        }
+        case InputEvent::Kind::kBgp: {
+          const std::uint64_t begin = now_ns();
+          bgp_updates_.fetch_add(1, std::memory_order_relaxed);
+          sharded_->ingest_bgp(event.update, event.now_ms);
+          decode_.add_out();
+          route_.add_busy_ns(now_ns() - begin);
+          break;
+        }
+        case InputEvent::Kind::kFinish: {
+          // Always the last event of its batch: submit() cuts the batch
+          // at every control event.
+          sharded_->finish();  // all minute batches now sit in the score ring
+          // finish() joined the merge thread, so the score ring's producer
+          // endpoint hands off to this thread for the final sentinel.
+          score_ring_.adopt_producer();
+          ScoreItem fin;
+          fin.finish = true;
+          score_ring_.push_blocking(std::move(fin), abort_);
+          return;
+        }
       }
     }
   }

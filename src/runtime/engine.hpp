@@ -13,6 +13,14 @@
 // slow model never blocks packet decode directly; backpressure propagates
 // queue by queue until the producer either blocks or drops, per policy.
 //
+// Every ring edge moves batches (see batch.hpp): the producer accumulates
+// events into a pending InputBatch and flushes at `batch_records` events
+// or immediately on control events (BGP, finish), so relative order of
+// data and control is exactly the submission order. Under kDrop a full
+// ring drops only the incoming data event — buffered events are retried
+// on the next submission and on finish, so every accepted event is
+// eventually delivered and `input_drops` equals rejected push() calls.
+//
 // Producer API (push / push_wire / push_bgp / finish) must be called from
 // one thread. The minute sink runs on the score thread, and only there,
 // so non-thread-safe sinks are fine.
@@ -23,6 +31,7 @@
 #include <memory>
 #include <thread>
 
+#include "runtime/batch.hpp"
 #include "runtime/counters.hpp"
 #include "runtime/ring.hpp"
 #include "runtime/sharded_collector.hpp"
@@ -37,9 +46,12 @@ enum class Backpressure {
 
 struct EngineConfig {
   std::size_t shards = 1;               ///< collector shards (collect workers)
-  std::size_t queue_capacity = 1024;    ///< bound for every stage queue
+  std::size_t queue_capacity = 1024;    ///< bound for every stage queue (records)
   Backpressure backpressure = Backpressure::kBlock;
   core::Collector::Config collector{};  ///< per-shard collector config
+  /// Records per ring batch (clamped by effective_batch_records so small
+  /// test queues still exercise backpressure); 1 = single-record transfer.
+  std::size_t batch_records = kDefaultBatchRecords;
 };
 
 /// Multi-threaded decode → shard → collect → merge → score pipeline.
@@ -85,14 +97,25 @@ class Engine {
     std::uint32_t minute = 0;
     std::vector<net::FlowRecord> flows;
   };
+  /// The input ring's unit of transfer: a chunk of producer events,
+  /// flushed at `batch_records` events or on any control event.
+  struct InputBatch {
+    std::vector<InputEvent> events;
+  };
 
   void decode_worker();
   void score_worker();
   bool submit(InputEvent&& event);
+  /// Pushes the pending batch into the input ring. `block` spins until it
+  /// fits; otherwise a full ring leaves the batch pending and returns
+  /// false. No-op (true) when nothing is pending.
+  bool flush_pending(bool block);
 
   EngineConfig config_;
   core::MinuteBatchSink minute_sink_;
-  SpscRing<InputEvent> input_ring_;
+  std::size_t batch_records_;   ///< effective records per input batch
+  InputBatch pending_;          ///< producer thread only
+  SpscRing<InputBatch> input_ring_;
   SpscRing<ScoreItem> score_ring_;
   std::unique_ptr<ShardedCollector> sharded_;
   std::thread decode_thread_;

@@ -51,9 +51,16 @@ ShardedCollector::ShardedCollector(ShardedCollectorConfig config,
                                          4 * std::max<std::size_t>(
                                                  config.shards, 1))) {
   if (config_.shards == 0) config_.shards = 1;
+  batch_records_ =
+      effective_batch_records(config_.batch_records, config_.queue_capacity);
+  const std::size_t slots =
+      batch_ring_slots(config_.queue_capacity, batch_records_);
   shards_.reserve(config_.shards);
+  pending_.resize(config_.shards);
+  pending_samples_.assign(config_.shards, 0);
+  sub_mark_.assign(config_.shards, 0);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(slots));
   }
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_[i]->thread = std::thread([this, i] { shard_worker(i); });
@@ -74,7 +81,21 @@ ShardedCollector::~ShardedCollector() {
   }
 }
 
+void ShardedCollector::flush_shard(std::size_t s) {
+  if (pending_[s].datagrams.empty()) return;
+  ShardMessage message = std::move(pending_[s]);
+  pending_[s] = ShardMessage{};
+  pending_samples_[s] = 0;
+  shards_[s]->ring.push_blocking(std::move(message), abort_);
+  collect_.note_queue_depth(shards_[s]->ring.size() * batch_records_);
+}
+
 void ShardedCollector::broadcast(ShardMessage message) {
+  // Order barrier: buffered data must reach every shard before (never
+  // after) a control message — each shard then sees the identical
+  // datagram/BGP/punctuation sequence the unbatched router produced,
+  // which is what the bit-identical-output determinism argument needs.
+  for (std::size_t s = 0; s < shards_.size(); ++s) flush_shard(s);
   for (auto& shard : shards_) {
     ShardMessage copy = message;
     shard->ring.push_blocking(std::move(copy), abort_);
@@ -82,42 +103,43 @@ void ShardedCollector::broadcast(ShardMessage message) {
 }
 
 void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
-  // Split the datagram's samples into per-shard sub-datagrams. Shard
-  // identity comes from the raw destination IP (pre-anonymization), so a
-  // victim's flows always land in one shard.
+  // Split the datagram's samples into per-shard sub-datagrams appended to
+  // each shard's open batch. Shard identity comes from the raw
+  // destination IP (pre-anonymization), so a victim's flows always land
+  // in one shard.
   const std::size_t n = shards_.size();
+  collect_.add_in(datagram.samples.size());
   if (n == 1) {
-    ShardMessage message;
-    message.kind = ShardMessage::Kind::kData;
-    message.datagram = datagram;
-    collect_.add_in(datagram.samples.size());
-    shards_[0]->ring.push_blocking(std::move(message), abort_);
-    collect_.note_queue_depth(shards_[0]->ring.size());
+    pending_[0].datagrams.push_back(datagram);
+    pending_samples_[0] += datagram.samples.size();
   } else {
-    std::vector<net::SflowDatagram> subs(n);
+    ++ingest_seq_;
     for (const auto& sample : datagram.samples) {
       const std::size_t s = shard_of(sample.packet.dst_ip, n);
-      if (subs[s].samples.empty()) {
-        subs[s].agent = datagram.agent;
-        subs[s].sub_agent_id = datagram.sub_agent_id;
-        subs[s].sequence = datagram.sequence;
-        subs[s].uptime_ms = datagram.uptime_ms;
+      if (sub_mark_[s] != ingest_seq_) {
+        // First sample of this source datagram routed to shard s: open a
+        // fresh sub-datagram carrying the source header (uptime_ms is
+        // what drives minute binning downstream).
+        sub_mark_[s] = ingest_seq_;
+        net::SflowDatagram sub;
+        sub.agent = datagram.agent;
+        sub.sub_agent_id = datagram.sub_agent_id;
+        sub.sequence = datagram.sequence;
+        sub.uptime_ms = datagram.uptime_ms;
+        pending_[s].datagrams.push_back(std::move(sub));
       }
-      subs[s].samples.push_back(sample);
+      pending_[s].datagrams.back().samples.push_back(sample);
+      ++pending_samples_[s];
     }
-    for (std::size_t s = 0; s < n; ++s) {
-      if (subs[s].samples.empty()) continue;
-      ShardMessage message;
-      message.kind = ShardMessage::Kind::kData;
-      collect_.add_in(subs[s].samples.size());
-      message.datagram = std::move(subs[s]);
-      shards_[s]->ring.push_blocking(std::move(message), abort_);
-      collect_.note_queue_depth(shards_[s]->ring.size());
-    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (pending_samples_[s] >= batch_records_) flush_shard(s);
   }
 
   // Watermark punctuation: when stream time advances, tell every shard so
   // quiet shards close their minutes too (and ack to the merge barrier).
+  // broadcast() flushes all pending batches first, so no shard sees the
+  // punctuation before the data that precedes it in the stream.
   const auto minute = static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
   if (minute > watermark_min_) {
     watermark_min_ = minute;
@@ -215,7 +237,9 @@ void ShardedCollector::shard_worker(std::size_t index) {
     const std::uint64_t begin = now_ns();
     switch (message.kind) {
       case ShardMessage::Kind::kData:
-        collector.ingest(message.datagram);
+        for (const net::SflowDatagram& sub : message.datagrams) {
+          collector.ingest(sub);
+        }
         break;
       case ShardMessage::Kind::kBgp:
         collector.ingest_bgp(message.update, message.now_ms);

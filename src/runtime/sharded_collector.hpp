@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/collector.hpp"
+#include "runtime/batch.hpp"
 #include "runtime/counters.hpp"
 #include "runtime/ring.hpp"
 
@@ -55,14 +56,24 @@ namespace scrubber::runtime {
 struct ShardedCollectorConfig {
   std::size_t shards = 1;              ///< number of collector shards
   core::Collector::Config collector{}; ///< per-shard collector config
-  std::size_t queue_capacity = 1024;   ///< per-shard ring + merge queue bound
+  std::size_t queue_capacity = 1024;   ///< per-shard ring + merge queue bound (records)
+  /// Target samples per shard-ring batch (see batch.hpp). The router
+  /// accumulates each shard's sub-datagrams until the batch carries this
+  /// many samples, and flushes every pending batch before broadcasting
+  /// any control message — so each shard observes the exact datagram /
+  /// BGP / punctuation sequence of the unbatched router.
+  std::size_t batch_records = kDefaultBatchRecords;
 };
 
 /// Work item delivered to one shard worker.
 struct ShardMessage {
   enum class Kind : std::uint8_t { kData, kBgp, kAdvance, kFinish };
   Kind kind = Kind::kData;
-  net::SflowDatagram datagram;  ///< kData: this shard's samples
+  /// kData: a batch of this shard's sub-datagrams, in stream order. One
+  /// sub-datagram per source datagram (uptime_ms drives minute binning
+  /// and late-drop accounting, so samples are never merged across
+  /// source datagrams).
+  std::vector<net::SflowDatagram> datagrams;
   bgp::UpdateMessage update;    ///< kBgp
   std::uint64_t now_ms = 0;     ///< kBgp: observation time
   std::uint32_t minute = 0;     ///< kAdvance: router watermark
@@ -122,13 +133,26 @@ class ShardedCollector {
 
   void shard_worker(std::size_t index);
   void merge_worker();
+  /// Flushes every pending data batch, then delivers `message` to every
+  /// shard — control never overtakes (or is overtaken by) buffered data.
   void broadcast(ShardMessage message);
+  /// Pushes shard `s`'s pending batch into its ring (blocking) and
+  /// resets the accumulator. No-op when empty.
+  void flush_shard(std::size_t s);
 
   ShardedCollectorConfig config_;
   core::MinuteBatchSink sink_;
   std::vector<std::unique_ptr<Shard>> shards_;
   MpscQueue<MergeMessage> merge_queue_;
   std::thread merge_thread_;
+  std::size_t batch_records_ = kDefaultBatchRecords;  ///< effective batch size
+  // Router accumulators (producer thread only): one open data batch per
+  // shard plus its sample count, and a per-ingest stamp marking whether
+  // the current source datagram already opened a sub-datagram there.
+  std::vector<ShardMessage> pending_;
+  std::vector<std::size_t> pending_samples_;
+  std::vector<std::uint64_t> sub_mark_;
+  std::uint64_t ingest_seq_ = 0;
   std::uint32_t watermark_min_ = 0;  ///< router watermark (producer thread)
   bool finished_ = false;            ///< producer thread only
   std::atomic<bool> abort_{false};

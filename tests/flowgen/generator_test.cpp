@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -59,6 +62,54 @@ TEST(Generator, StreamMatchesMaterialized) {
                       streamed.insert(streamed.end(), flows.begin(), flows.end());
                     });
   EXPECT_EQ(trace.flows, streamed);
+}
+
+// Parallel generation must be invisible: any thread count, and any number
+// of regenerations with the same seed, produce the same trace bytes (the
+// wire serialization, not just value equality). This test is part of the
+// TSan CI config, which also checks the worker handoff for data races.
+TEST(Generator, ThreadedStreamByteIdenticalForAnyThreadCount) {
+  const auto bytes_with_threads = [](unsigned threads) {
+    TrafficGenerator gen(small_profile(), 11);
+    std::vector<net::FlowRecord> flows;
+    std::uint32_t next_minute = 0;
+    gen.generate_stream(
+        0, 48, Labeling::kBlackholeRegistry,
+        [&](std::uint32_t minute, std::span<const net::FlowRecord> batch) {
+          EXPECT_EQ(minute, next_minute++);  // sink stays in minute order
+          flows.insert(flows.end(), batch.begin(), batch.end());
+        },
+        threads);
+    EXPECT_EQ(next_minute, 48u);
+    std::ostringstream out;
+    net::write_flows(out, flows);
+    return out.str();
+  };
+
+  const std::string serial = bytes_with_threads(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, bytes_with_threads(2));
+  EXPECT_EQ(serial, bytes_with_threads(8));
+  // Oversubscribed relative to the 48-minute range: more workers than the
+  // 4*threads window can ever fill concurrently.
+  EXPECT_EQ(serial, bytes_with_threads(64));
+  // Same-seed regeneration (fresh generator object) is also identical.
+  EXPECT_EQ(serial, bytes_with_threads(2));
+}
+
+TEST(Generator, ThreadedStreamPropagatesSinkExceptions) {
+  TrafficGenerator gen(small_profile(), 12);
+  std::uint32_t delivered = 0;
+  EXPECT_THROW(
+      gen.generate_stream(
+          0, 32, Labeling::kBlackholeRegistry,
+          [&](std::uint32_t minute, std::span<const net::FlowRecord>) {
+            if (minute == 5) throw std::runtime_error("sink failed");
+            ++delivered;
+          },
+          4),
+      std::runtime_error);
+  EXPECT_EQ(delivered, 5u);  // minutes 0..4, then the throw stopped the run
 }
 
 TEST(Generator, BlackholeShareIsSmall) {

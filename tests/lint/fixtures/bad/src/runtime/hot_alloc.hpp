@@ -1,0 +1,41 @@
+#pragma once
+// Fixture: scrubber-hot-path-alloc — no heap allocation between the hot
+// markers; the same calls outside the region are allowed (and a naked
+// `new` inside the region trips both the alloc and ownership rules).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+class BatchBuffer {
+ public:
+  // scrubber-hot-begin
+  void push(std::uint64_t value) {
+    records_.push_back(value);  // EXPECT-LINT: scrubber-hot-path-alloc
+  }
+  void grow(std::size_t n) {
+    records_.reserve(n);   // EXPECT-LINT: scrubber-hot-path-alloc
+    records_.resize(n);    // EXPECT-LINT: scrubber-hot-path-alloc
+  }
+  void attach() {
+    scratch_ = std::make_unique<std::uint64_t[]>(64);  // EXPECT-LINT: scrubber-hot-path-alloc
+    raw_ = new std::uint64_t[64];  // EXPECT-LINT: scrubber-naked-new, scrubber-hot-path-alloc
+  }
+  // scrubber-hot-end
+
+  /// Cold path: pre-sizing the buffer outside the region is the fix the
+  /// rule is pushing towards, so none of these lines may fire.
+  void prepare(std::size_t n) {
+    records_.reserve(n);
+    records_.push_back(0);
+    scratch_ = std::make_unique<std::uint64_t[]>(n);
+  }
+
+ private:
+  std::vector<std::uint64_t> records_;
+  std::unique_ptr<std::uint64_t[]> scratch_;
+  std::uint64_t* raw_ = nullptr;
+};
+
+}  // namespace fixture

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace fixture {
 
@@ -21,8 +22,12 @@ class Counter {
     return std::make_unique<Counter>();
   }
 
+  /// Allocation on the cold path (outside any hot region) is fine.
+  void note(std::uint64_t value) { history_.push_back(value); }
+
  private:
   std::atomic<std::uint64_t> value_{0};
+  std::vector<std::uint64_t> history_;
 };
 
 /// Derived floating-point quantities are fine; raw tallies are integral.

@@ -133,7 +133,8 @@ TEST(ScrubberLint, ListRulesNamesEveryRule) {
   const std::set<std::string> rules(run.lines.begin(), run.lines.end());
   for (const char* rule :
        {"scrubber-memory-order", "scrubber-hot-path-blocking",
-        "scrubber-raw-rand", "scrubber-float-counter", "scrubber-naked-new",
+        "scrubber-hot-path-alloc", "scrubber-raw-rand",
+        "scrubber-float-counter", "scrubber-naked-new",
         "scrubber-include-guard", "scrubber-banned-construct",
         "scrubber-nolint-needs-reason"}) {
     EXPECT_TRUE(rules.count(rule) > 0) << "missing rule id: " << rule;

@@ -65,6 +65,40 @@ TEST(Engine, DeliversEveryMinuteInOrderUnderBlockPolicy) {
   }
 }
 
+TEST(Engine, OutputInvariantUnderBatchSize) {
+  // End-to-end over the whole stage graph: input-ring batching plus
+  // shard-ring batching must not change a single emitted flow. batch=1 is
+  // the single-record baseline; 5 forces ragged flushes around control
+  // events; 512 exceeds capacity/4 and exercises the clamp.
+  const auto run_with_batch = [](std::size_t batch_records) {
+    EngineConfig config;
+    config.shards = 3;
+    config.queue_capacity = 32;
+    config.batch_records = batch_records;
+    config.backpressure = Backpressure::kBlock;
+    config.collector.sampling_rate = 1;
+    std::vector<std::pair<std::uint32_t, std::vector<net::FlowRecord>>> out;
+    Engine engine(
+        config, [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
+          out.emplace_back(minute,
+                           std::vector<net::FlowRecord>(f.begin(), f.end()));
+        });
+    for (std::uint32_t minute = 0; minute < 90; ++minute) {
+      for (std::uint32_t d = 0; d < 4; ++d) {
+        EXPECT_TRUE(engine.push(datagram_at(minute, 0xC0A80000 + 16 * d)));
+      }
+    }
+    engine.finish();
+    EXPECT_EQ(engine.stats().input_drops, 0u);
+    return out;
+  };
+
+  const auto reference = run_with_batch(1);
+  ASSERT_EQ(reference.size(), 90u);
+  EXPECT_EQ(reference, run_with_batch(5));
+  EXPECT_EQ(reference, run_with_batch(512));
+}
+
 TEST(Engine, DropPolicyShedsLoadWithoutDeadlock) {
   EngineConfig config;
   config.shards = 2;

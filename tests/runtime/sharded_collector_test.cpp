@@ -80,12 +80,14 @@ MinuteBatches run_single(const std::vector<CaptureEvent>& events,
 
 /// The sharded multi-threaded pipeline over the same stream.
 MinuteBatches run_sharded(const std::vector<CaptureEvent>& events,
-                          core::Collector::Config config, std::size_t shards) {
+                          core::Collector::Config config, std::size_t shards,
+                          std::size_t batch_records = kDefaultBatchRecords) {
   MinuteBatches batches;
   ShardedCollectorConfig sharded_config;
   sharded_config.shards = shards;
   sharded_config.collector = config;
   sharded_config.queue_capacity = 64;  // small: exercise ring wraparound
+  sharded_config.batch_records = batch_records;
   ShardedCollector collector(
       sharded_config,
       [&](std::uint32_t minute, std::span<const net::FlowRecord> f) {
@@ -136,6 +138,28 @@ TEST(ShardedCollector, BitIdenticalToSingleCollectorAcrossShardCounts) {
 
   for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
     expect_identical(reference, run_sharded(events, config, shards), shards);
+  }
+}
+
+TEST(ShardedCollector, BitIdenticalAcrossBatchSizes) {
+  // The batching layer only changes ring-transfer granularity; the merge
+  // must see the exact same per-shard sequences. batch=1 degenerates to
+  // the pre-batching single-record path, 3 forces mid-datagram batch cuts
+  // and ragged flushes, 64 (vs capacity 64) exercises the clamp to
+  // capacity/4.
+  core::Collector::Config config;
+  config.sampling_rate = 4;
+  config.reorder_slack_min = 1;
+  const auto events = make_stream(/*minutes=*/120, config.sampling_rate, 55);
+  const MinuteBatches reference = run_single(events, config);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t batch_records : {1u, 3u, 64u}) {
+    for (const std::size_t shards : {1u, 3u}) {
+      expect_identical(reference,
+                       run_sharded(events, config, shards, batch_records),
+                       shards);
+    }
   }
 }
 

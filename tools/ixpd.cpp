@@ -3,7 +3,8 @@
 //
 //   ixpd --profile us2 --minutes 2880 --shards 4 [--seed 7]
 //        [--sampling 10] [--queue 4096] [--policy block|drop] [--wire 1]
-//        [--stats-every 240] [--warmup 1440] [--retrain 1440]
+//        [--batch 512] [--gen-threads N] [--stats-every 240]
+//        [--warmup 1440] [--retrain 1440]
 //
 // The daemon replays a seeded synthetic trace (the repo's stand-in for the
 // IXP's sFlow + BGP feeds, DESIGN.md §1) as fast as the engine accepts it:
@@ -15,11 +16,13 @@
 // A stats heartbeat prints every --stats-every minutes of stream time and
 // a final throughput report (flows/sec, per-stage utilization) at exit.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "core/live_detector.hpp"
 #include "flowgen/generator.hpp"
@@ -81,6 +84,10 @@ int run(int argc, char** argv) {
   const bool wire = args.number("wire", 0) != 0;
   const std::uint32_t stats_every =
       static_cast<std::uint32_t>(args.number("stats-every", 240));
+  // Trace generation threads: the source is deterministic for any value
+  // (per-minute RNG streams), so default to every available core.
+  const auto gen_threads = static_cast<unsigned>(args.number(
+      "gen-threads", std::max(1U, std::thread::hardware_concurrency())));
 
   runtime::EngineConfig engine_config;
   engine_config.shards = static_cast<std::size_t>(args.number("shards", 4));
@@ -93,6 +100,8 @@ int run(int argc, char** argv) {
     throw std::runtime_error("--policy must be block or drop");
   }
   engine_config.collector.sampling_rate = sampling;
+  engine_config.batch_records =
+      static_cast<std::size_t>(args.number("batch", runtime::kDefaultBatchRecords));
 
   core::LiveDetectorConfig detector_config;
   detector_config.warmup_min =
@@ -122,10 +131,11 @@ int run(int argc, char** argv) {
         detector.ingest_minute(minute, flows);
       });
 
-  std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu policy=%s "
-              "sampling=1/%u wire=%d seed=%llu\n",
+  std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
+              "policy=%s sampling=1/%u wire=%d gen-threads=%u seed=%llu\n",
               profile.name.c_str(), minutes, engine_config.shards,
-              engine_config.queue_capacity, policy.c_str(), sampling, wire,
+              engine_config.queue_capacity, engine_config.batch_records,
+              policy.c_str(), sampling, wire, gen_threads,
               static_cast<unsigned long long>(seed));
 
   const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);
@@ -157,7 +167,8 @@ int run(int argc, char** argv) {
                       engine.stats().stats_line().c_str());
           std::fflush(stdout);
         }
-      });
+      },
+      gen_threads);
   engine.finish();
 
   const runtime::EngineSnapshot snapshot = engine.stats();

@@ -13,6 +13,12 @@
 //                              sleeping calls inside regions marked
 //                              // scrubber-hot-begin / // scrubber-hot-end
 //                              (the SPSC ring push/pop paths)
+//   scrubber-hot-path-alloc    no heap allocation inside scrubber-hot
+//                              regions: no new/make_unique/make_shared,
+//                              no malloc family, no growing container
+//                              calls (push_back, resize, reserve, ...) —
+//                              per-record batch kernels preallocate
+//                              outside the region
 //   scrubber-raw-rand          no rand()/srand()/std::random_device
 //                              outside src/util/rng — all randomness is
 //                              seeded and reproducible
@@ -414,6 +420,37 @@ void rule_hot_path_blocking(const LexedFile& f, Sink& sink) {
   }
 }
 
+/// scrubber-hot-path-alloc: inside // scrubber-hot-begin/end regions no
+/// heap allocation — per-record work must run at memory speed, so growth
+/// happens in batch-sized chunks outside the marked kernels. Unbalanced
+/// region markers are diagnosed by scrubber-hot-path-blocking already and
+/// skipped here.
+void rule_hot_path_alloc(const LexedFile& f, Sink& sink) {
+  if (f.hot_regions.empty()) return;
+  static const std::set<std::string> kAllocating = {
+      "new",         "make_unique", "make_shared",
+      "malloc",      "calloc",      "realloc",
+      "aligned_alloc", "strdup",
+      "push_back",   "emplace_back", "emplace",
+      "resize",      "reserve",     "insert",
+      "append",      "assign",
+  };
+  for (const HotRegion& region : f.hot_regions) {
+    if (region.begin_line == 0 || region.end_line == 0) continue;
+    for (const Token& token : f.tokens) {
+      if (token.line <= region.begin_line || token.line >= region.end_line) {
+        continue;
+      }
+      if (token.is_identifier && kAllocating.count(token.text) > 0) {
+        add(sink, f, token.line, "scrubber-hot-path-alloc",
+            "`" + token.text +
+                "` inside a scrubber-hot region — the per-record path must "
+                "not allocate (preallocate or batch outside the region)");
+      }
+    }
+  }
+}
+
 /// scrubber-raw-rand: all randomness flows through util/rng (seeded,
 /// reproducible); libc rand and std::random_device are banned elsewhere.
 void rule_raw_rand(const LexedFile& f, Sink& sink) {
@@ -549,9 +586,10 @@ void rule_banned_construct(const LexedFile& f, Sink& sink) {
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kRules = {
       "scrubber-memory-order",    "scrubber-hot-path-blocking",
-      "scrubber-raw-rand",        "scrubber-float-counter",
-      "scrubber-naked-new",       "scrubber-include-guard",
-      "scrubber-banned-construct", "scrubber-nolint-needs-reason",
+      "scrubber-hot-path-alloc",  "scrubber-raw-rand",
+      "scrubber-float-counter",   "scrubber-naked-new",
+      "scrubber-include-guard",   "scrubber-banned-construct",
+      "scrubber-nolint-needs-reason",
   };
   return kRules;
 }
@@ -602,6 +640,7 @@ int run(const fs::path& root, const std::vector<std::string>& targets,
     Sink raw;
     rule_memory_order(lexed, raw);
     rule_hot_path_blocking(lexed, raw);
+    rule_hot_path_alloc(lexed, raw);
     rule_raw_rand(lexed, raw);
     rule_float_counter(lexed, raw);
     rule_naked_new(lexed, raw);
