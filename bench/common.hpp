@@ -3,8 +3,10 @@
 // figure of the paper; see DESIGN.md §3). Every harness is deterministic:
 // all randomness flows from fixed seeds.
 
+#include <array>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,11 +15,67 @@
 #include "core/scrubber.hpp"
 #include "flowgen/generator.hpp"
 #include "ml/metrics.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scrubber::bench {
+
+#ifdef SCRUBBER_SOURCE_DIR
+/// Commit SHA of the tree this binary benchmarks, queried from git at run
+/// time so it never goes stale between configure and run. "unknown" when
+/// git or the work tree is unavailable (e.g. a tarball build).
+inline std::string git_sha() {
+  const std::string command =
+      "git -C \"" SCRUBBER_SOURCE_DIR "\" rev-parse --short=12 HEAD "
+      "2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 64> buffer{};
+  std::string out;
+  if (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) !=
+      nullptr) {
+    out = buffer.data();
+  }
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+/// Provenance block shared by every BENCH_*.json: which commit and which
+/// build produced these numbers. A checked or sanitized build is
+/// measurable but NOT comparable with the Release trajectory; trajectory
+/// tooling filters on these fields.
+inline void set_provenance(util::Json& out) {
+  out.set("git_sha", git_sha());
+  out.set("build_type", SCRUBBER_BUILD_TYPE);
+  out.set("cxx_flags", SCRUBBER_CXX_FLAGS);
+  out.set("compiler", SCRUBBER_COMPILER);
+  out.set("checked", SCRUBBER_OPT_CHECKED != 0);
+  out.set("sanitize", SCRUBBER_OPT_SANITIZE);
+}
+#endif  // SCRUBBER_SOURCE_DIR
+
+/// Parses `--train-threads N` / `--train-threads=N` (0 or absent means
+/// hardware_concurrency), configures the shared learning-plane pool, and
+/// returns the effective thread count. Training-heavy benches call this
+/// before any fit/mine work and record the result in their JSON output.
+inline unsigned configure_train_threads(int argc, char** argv) {
+  unsigned requested = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--train-threads=", 16) == 0) {
+      requested = static_cast<unsigned>(std::strtoul(arg + 16, nullptr, 10));
+    } else if (std::strcmp(arg, "--train-threads") == 0 && i + 1 < argc) {
+      requested = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  return util::set_training_threads(requested);
+}
 
 /// Result of generating + online-balancing a traffic slice.
 struct BalancedTrace {

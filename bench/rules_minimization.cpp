@@ -8,8 +8,9 @@
 
 #include "core/acl.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scrubber;
+  const unsigned train_threads = bench::configure_train_threads(argc, argv);
   bench::print_header("Rule mining (§5.1.1)",
                       "FP-Growth -> consequent filter -> Algorithm 1");
   bench::print_expectation(
@@ -67,5 +68,12 @@ int main() {
     std::printf("  %s\n", acl.substr(pos, next - pos).c_str());
     pos = next + 1;
   }
+
+  // Machine-readable run metadata (the tables above are the human view).
+  util::Json meta;
+  meta.set("bench", "rules_minimization");
+  bench::set_provenance(meta);
+  meta.set("train_threads", static_cast<double>(train_threads));
+  std::printf("\n%s\n", meta.dump().c_str());
   return 0;
 }

@@ -19,7 +19,6 @@
 // assertions; that is the mode the perf-smoke CI job runs.
 
 #include <algorithm>
-#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,28 +34,6 @@
 namespace {
 
 using namespace scrubber;
-
-/// Commit SHA of the tree this binary benchmarks, queried from git at run
-/// time so it never goes stale between configure and run. "unknown" when
-/// git or the work tree is unavailable (e.g. a tarball build).
-std::string git_sha() {
-  const std::string command =
-      "git -C \"" SCRUBBER_SOURCE_DIR "\" rev-parse --short=12 HEAD "
-      "2>/dev/null";
-  FILE* pipe = popen(command.c_str(), "r");
-  if (pipe == nullptr) return "unknown";
-  std::array<char, 64> buffer{};
-  std::string out;
-  if (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) !=
-      nullptr) {
-    out = buffer.data();
-  }
-  pclose(pipe);
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out.empty() ? "unknown" : out;
-}
 
 /// One swept configuration's best-of-N snapshot.
 struct RunResult {
@@ -264,15 +241,7 @@ int main(int argc, char** argv) {
 
   util::Json out;
   out.set("bench", "runtime_throughput");
-  // Provenance: which commit and which build produced these numbers. A
-  // checked or sanitized build is measurable but NOT comparable with the
-  // Release trajectory; trajectory tooling filters on these fields.
-  out.set("git_sha", git_sha());
-  out.set("build_type", SCRUBBER_BUILD_TYPE);
-  out.set("cxx_flags", SCRUBBER_CXX_FLAGS);
-  out.set("compiler", SCRUBBER_COMPILER);
-  out.set("checked", SCRUBBER_OPT_CHECKED != 0);
-  out.set("sanitize", SCRUBBER_OPT_SANITIZE);
+  bench::set_provenance(out);
   out.set("profile", "IXP-SE");
   out.set("smoke", smoke);
   out.set("trace_minutes", static_cast<double>(kMinutes));

@@ -54,7 +54,8 @@ double measure_mcc(const ml::Pipeline& pipeline,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned train_threads = bench::configure_train_threads(argc, argv);
   bench::print_header("Table 3 / Table 5",
                       "classification results, all models, merged 5-IXP set");
   bench::print_expectation(
@@ -144,5 +145,12 @@ int main() {
       "\nnote: mcc measured on this host; cross-model ordering (tree models "
       "cheap, NN/PCA heavier) is the comparable quantity, not absolute "
       "values.\n");
+
+  // Machine-readable run metadata (the tables above are the human view).
+  util::Json meta;
+  meta.set("bench", "table3_models");
+  bench::set_provenance(meta);
+  meta.set("train_threads", static_cast<double>(train_threads));
+  std::printf("\n%s\n", meta.dump().c_str());
   return 0;
 }

@@ -46,7 +46,8 @@ void report(const char* model, const ml::GridSearchResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned train_threads = bench::configure_train_threads(argc, argv);
   bench::print_header("Table 4 (Appendix C)",
                       "hyperparameter grid search, 3-fold CV, F_beta=0.5");
   bench::print_expectation(
@@ -150,5 +151,11 @@ int main() {
              },
              3, rng));
 
+  // Machine-readable run metadata (the tables above are the human view).
+  util::Json meta;
+  meta.set("bench", "table4_gridsearch");
+  bench::set_provenance(meta);
+  meta.set("train_threads", static_cast<double>(train_threads));
+  std::printf("%s\n", meta.dump().c_str());
   return 0;
 }

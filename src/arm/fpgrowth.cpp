@@ -5,6 +5,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace scrubber::arm {
 namespace {
 
@@ -63,15 +65,20 @@ class FpTree {
   std::unordered_map<std::uint32_t, FpNode*> header_;
 };
 
-/// Recursive FP-Growth over conditional trees.
+/// Recursive FP-Growth over conditional trees. The shared (read-only)
+/// FP-tree is only ever traversed, so one Miner per top-level item can
+/// run on a pool thread; each writes to its own output vector and the
+/// vectors concatenate in the canonical mining order afterwards.
 class Miner {
  public:
   Miner(std::uint64_t min_count, std::size_t max_size,
         std::vector<FrequentItemset>& out)
       : min_count_(min_count), max_size_(max_size), out_(out) {}
 
-  void mine(const FpTree& tree, std::vector<Item>& suffix) {
-    // Items in this (conditional) tree with their total counts.
+  /// Frequent items of a (conditional) tree in the canonical mining
+  /// order: ascending frequency, ties by item (mine the rarest first).
+  [[nodiscard]] std::vector<std::pair<Item, std::uint64_t>> frequent_items(
+      const FpTree& tree) const {
     std::vector<std::pair<Item, std::uint64_t>> items;
     for (const auto& [packed, first] : tree.header()) {
       std::uint64_t total = 0;
@@ -79,39 +86,48 @@ class Miner {
         total += node->count;
       if (total >= min_count_) items.emplace_back(unpack(packed), total);
     }
-    // Ascending frequency: mine the rarest item first (classic order).
     std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
       return a.second < b.second || (a.second == b.second && a.first < b.first);
     });
+    return items;
+  }
 
-    for (const auto& [item, total] : items) {
-      suffix.push_back(item);
-      std::vector<Item> itemset = suffix;
-      std::sort(itemset.begin(), itemset.end());
-      out_.push_back(FrequentItemset{std::move(itemset), total});
+  /// Mines one item of `tree`: emits suffix+item, then recurses into the
+  /// item's conditional tree. `suffix` is restored before returning.
+  void mine_item(const FpTree& tree, Item item, std::uint64_t total,
+                 std::vector<Item>& suffix) {
+    suffix.push_back(item);
+    std::vector<Item> itemset = suffix;
+    std::sort(itemset.begin(), itemset.end());
+    out_.push_back(FrequentItemset{std::move(itemset), total});
 
-      if (suffix.size() < max_size_) {
-        // Build the conditional tree of this item from its prefix paths.
-        FpTree conditional;
-        const FpNode* first = nullptr;
-        for (const auto& [packed, head] : tree.header()) {
-          if (unpack(packed) == item) {
-            first = head;
-            break;
-          }
+    if (suffix.size() < max_size_) {
+      // Build the conditional tree of this item from its prefix paths.
+      FpTree conditional;
+      const FpNode* first = nullptr;
+      for (const auto& [packed, head] : tree.header()) {
+        if (unpack(packed) == item) {
+          first = head;
+          break;
         }
-        for (const FpNode* node = first; node != nullptr; node = node->next) {
-          std::vector<Item> path;
-          for (const FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
-               up = up->parent) {
-            path.push_back(up->item);
-          }
-          std::reverse(path.begin(), path.end());
-          if (!path.empty()) conditional.insert(path, node->count);
-        }
-        if (!conditional.empty()) mine(conditional, suffix);
       }
-      suffix.pop_back();
+      for (const FpNode* node = first; node != nullptr; node = node->next) {
+        std::vector<Item> path;
+        for (const FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
+             up = up->parent) {
+          path.push_back(up->item);
+        }
+        std::reverse(path.begin(), path.end());
+        if (!path.empty()) conditional.insert(path, node->count);
+      }
+      if (!conditional.empty()) mine(conditional, suffix);
+    }
+    suffix.pop_back();
+  }
+
+  void mine(const FpTree& tree, std::vector<Item>& suffix) {
+    for (const auto& [item, total] : frequent_items(tree)) {
+      mine_item(tree, item, total, suffix);
     }
   }
 
@@ -157,9 +173,26 @@ std::vector<FrequentItemset> mine_frequent_itemsets(
     if (!ordered.empty()) tree.insert(ordered, 1);
   }
 
-  std::vector<Item> suffix;
-  Miner miner(threshold, params.max_itemset_size, out);
-  miner.mine(tree, suffix);
+  // Top-level fan-out: each frequent item mines its conditional subtree
+  // into its own part (the global tree is read-only from here on), and
+  // the parts concatenate in the canonical item order — the exact output
+  // sequence of the sequential miner, for any thread count. Recursion
+  // below the top level stays sequential inside each part.
+  Miner planner(threshold, params.max_itemset_size, out);
+  const auto items = planner.frequent_items(tree);
+  std::vector<std::vector<FrequentItemset>> parts(items.size());
+  util::training_pool().parallel_for(items.size(), [&](std::size_t k) {
+    Miner miner(threshold, params.max_itemset_size, parts[k]);
+    std::vector<Item> suffix;
+    miner.mine_item(tree, items[k].first, items[k].second, suffix);
+  });
+  std::size_t total_itemsets = 0;
+  for (const auto& part : parts) total_itemsets += part.size();
+  out.reserve(total_itemsets);
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
   return out;
 }
 

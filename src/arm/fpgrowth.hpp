@@ -19,6 +19,9 @@ namespace scrubber::arm {
 struct FrequentItemset {
   std::vector<Item> items;  // sorted
   std::uint64_t count = 0;
+
+  friend bool operator==(const FrequentItemset&, const FrequentItemset&) =
+      default;
 };
 
 /// An association rule A -> C with the paper's metrics: `support` is the

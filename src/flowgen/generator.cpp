@@ -463,6 +463,10 @@ void TrafficGenerator::generate_stream(std::uint32_t start_minute,
   std::exception_ptr error;
   std::mutex error_mutex;
 
+  // Producers must run while this thread concurrently drains the slot
+  // ring; the fork-join pool joins before returning, so it cannot
+  // express this pipeline.
+  // NOLINTNEXTLINE(scrubber-raw-thread): streaming producers outlive the parallel region
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {

@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace scrubber::ml {
 namespace {
 
@@ -88,42 +90,68 @@ class TreeBuilder {
   }
 
   /// Exact best split over all features: sort by value, scan boundaries.
+  /// Features fan out over the training pool in contiguous chunks; each
+  /// chunk keeps its own running best and the chunk bests merge in
+  /// ascending chunk order, which equals the sequential ascending-feature
+  /// fold (strict `>` keeps the earliest maximum) for any chunk
+  /// partition — so the chosen split is bit-identical for any thread
+  /// count. Small nodes stay sequential: the dispatch would cost more
+  /// than the scan.
   [[nodiscard]] Split best_split(const std::vector<std::size_t>& indices,
                                  double parent_impurity) const {
     const std::size_t n = indices.size();
+    util::ThreadPool& pool = util::training_pool();
+    constexpr std::size_t kMinRowsForParallelSplit = 512;
+    const std::size_t max_chunks = n < kMinRowsForParallelSplit ? 1 : 0;
+    const std::size_t n_chunks = pool.plan_chunks(data_.n_cols(), max_chunks);
+    std::vector<Split> chunk_best(n_chunks);
+    pool.parallel_for_chunks(
+        data_.n_cols(),
+        [&](std::size_t chunk, std::size_t f_begin, std::size_t f_end) {
+          Split best;
+          std::vector<std::pair<double, int>> values(n);
+          for (std::size_t feature = f_begin; feature < f_end; ++feature) {
+            for (std::size_t k = 0; k < n; ++k) {
+              const std::size_t i = indices[k];
+              const double v = data_.at(i, feature);
+              values[k] = {is_missing(v) ? -1.0 : v, data_.label(i)};
+            }
+            std::sort(values.begin(), values.end());
+            if (values.front().first == values.back().first) continue;
+
+            std::size_t left_n = 0, left_pos = 0;
+            std::size_t total_pos = 0;
+            for (const auto& [v, y] : values)
+              total_pos += static_cast<std::size_t>(y == 1);
+
+            for (std::size_t k = 0; k + 1 < n; ++k) {
+              ++left_n;
+              left_pos += static_cast<std::size_t>(values[k].second == 1);
+              if (values[k].first == values[k + 1].first) continue;
+              const std::size_t right_n = n - left_n;
+              if (left_n < params_.min_samples_leaf ||
+                  right_n < params_.min_samples_leaf)
+                continue;
+              const double wl =
+                  static_cast<double>(left_n) / static_cast<double>(n);
+              const double wr = 1.0 - wl;
+              const double child_impurity =
+                  wl * gini(left_pos, left_n) +
+                  wr * gini(total_pos - left_pos, right_n);
+              const double gain = parent_impurity - child_impurity;
+              if (gain > best.gain) {
+                best.feature = feature;
+                best.threshold = (values[k].first + values[k + 1].first) / 2.0;
+                best.gain = gain;
+              }
+            }
+          }
+          chunk_best[chunk] = best;
+        },
+        max_chunks);
     Split best;
-    std::vector<std::pair<double, int>> values(n);
-    for (std::size_t feature = 0; feature < data_.n_cols(); ++feature) {
-      for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t i = indices[k];
-        const double v = data_.at(i, feature);
-        values[k] = {is_missing(v) ? -1.0 : v, data_.label(i)};
-      }
-      std::sort(values.begin(), values.end());
-      if (values.front().first == values.back().first) continue;
-
-      std::size_t left_n = 0, left_pos = 0;
-      std::size_t total_pos = 0;
-      for (const auto& [v, y] : values) total_pos += static_cast<std::size_t>(y == 1);
-
-      for (std::size_t k = 0; k + 1 < n; ++k) {
-        ++left_n;
-        left_pos += static_cast<std::size_t>(values[k].second == 1);
-        if (values[k].first == values[k + 1].first) continue;
-        const std::size_t right_n = n - left_n;
-        if (left_n < params_.min_samples_leaf || right_n < params_.min_samples_leaf)
-          continue;
-        const double wl = static_cast<double>(left_n) / static_cast<double>(n);
-        const double wr = 1.0 - wl;
-        const double child_impurity = wl * gini(left_pos, left_n) +
-                                      wr * gini(total_pos - left_pos, right_n);
-        const double gain = parent_impurity - child_impurity;
-        if (gain > best.gain) {
-          best.feature = feature;
-          best.threshold = (values[k].first + values[k + 1].first) / 2.0;
-          best.gain = gain;
-        }
-      }
+    for (const Split& candidate : chunk_best) {
+      if (candidate.gain > best.gain) best = candidate;
     }
     return best;
   }

@@ -5,12 +5,16 @@
 #include <limits>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace scrubber::ml {
 namespace {
 
 [[nodiscard]] double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
 
 /// Quantile bin edges and a binned column-major copy of the training data.
+/// Columns are independent, so construction fans out over the training
+/// pool; per-column results are bit-identical for any thread count.
 class BinnedMatrix {
  public:
   BinnedMatrix(const Dataset& data, std::size_t max_bins) {
@@ -19,37 +23,42 @@ class BinnedMatrix {
     edges_.resize(cols_);
     binned_.resize(rows_ * cols_);
 
-    std::vector<double> values;
-    values.reserve(rows_);
-    for (std::size_t j = 0; j < cols_; ++j) {
-      values.clear();
-      for (std::size_t i = 0; i < rows_; ++i) {
-        const double v = data.at(i, j);
-        values.push_back(is_missing(v) ? -1.0 : v);
-      }
-      std::vector<double> sorted = values;
-      std::sort(sorted.begin(), sorted.end());
-      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    util::training_pool().parallel_for_chunks(
+        cols_, [&](std::size_t, std::size_t col_begin, std::size_t col_end) {
+          std::vector<double> values;
+          values.reserve(rows_);
+          for (std::size_t j = col_begin; j < col_end; ++j) {
+            values.clear();
+            for (std::size_t i = 0; i < rows_; ++i) {
+              const double v = data.at(i, j);
+              values.push_back(is_missing(v) ? -1.0 : v);
+            }
+            std::vector<double> sorted = values;
+            std::sort(sorted.begin(), sorted.end());
+            sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                         sorted.end());
 
-      auto& edges = edges_[j];
-      if (sorted.size() <= max_bins) {
-        // One bin per distinct value; edges are midpoints.
-        for (std::size_t k = 0; k + 1 < sorted.size(); ++k)
-          edges.push_back((sorted[k] + sorted[k + 1]) / 2.0);
-      } else {
-        for (std::size_t b = 1; b < max_bins; ++b) {
-          const std::size_t idx = b * sorted.size() / max_bins;
-          const double edge = sorted[idx];
-          if (edges.empty() || edge > edges.back()) edges.push_back(edge);
-        }
-      }
-      // Bin assignment: bin = count of edges <= value (upper_bound).
-      for (std::size_t i = 0; i < rows_; ++i) {
-        const auto it = std::upper_bound(edges.begin(), edges.end(), values[i]);
-        binned_[j * rows_ + i] =
-            static_cast<std::uint16_t>(std::distance(edges.begin(), it));
-      }
-    }
+            auto& edges = edges_[j];
+            if (sorted.size() <= max_bins) {
+              // One bin per distinct value; edges are midpoints.
+              for (std::size_t k = 0; k + 1 < sorted.size(); ++k)
+                edges.push_back((sorted[k] + sorted[k + 1]) / 2.0);
+            } else {
+              for (std::size_t b = 1; b < max_bins; ++b) {
+                const std::size_t idx = b * sorted.size() / max_bins;
+                const double edge = sorted[idx];
+                if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+              }
+            }
+            // Bin assignment: bin = count of edges <= value (upper_bound).
+            for (std::size_t i = 0; i < rows_; ++i) {
+              const auto it =
+                  std::upper_bound(edges.begin(), edges.end(), values[i]);
+              binned_[j * rows_ + i] =
+                  static_cast<std::uint16_t>(std::distance(edges.begin(), it));
+            }
+          }
+        });
   }
 
   [[nodiscard]] std::uint16_t bin(std::size_t row, std::size_t col) const noexcept {
@@ -103,12 +112,15 @@ void GradientBoostedTrees::fit(const Dataset& data) {
   std::vector<double> grad(n), hess(n);
   std::vector<std::size_t> row_node(n);  // node id each row currently sits in
 
+  util::ThreadPool& pool = util::training_pool();
+
   for (std::size_t round = 0; round < params_.n_estimators; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
+    // Per-row slots: thread-count independent by construction.
+    pool.parallel_for(n, [&](std::size_t i) {
       const double p = sigmoid(margin[i]);
       grad[i] = p - static_cast<double>(data.label(i));
       hess[i] = std::max(p * (1.0 - p), 1e-16);
-    }
+    });
 
     Tree tree;
     tree.push_back(Node{});
@@ -133,41 +145,64 @@ void GradientBoostedTrees::fit(const Dataset& data) {
         ++node_rows[slot];
       }
 
-      std::vector<SplitChoice> best(open);
-      // Per-feature pass: build histograms for all open nodes at once.
-      std::vector<double> hist_g, hist_h;
-      for (std::size_t feature = 0; feature < binned.cols(); ++feature) {
-        const std::size_t bins = binned.bin_count(feature);
-        if (bins <= 1) continue;
-        hist_g.assign(open * bins, 0.0);
-        hist_h.assign(open * bins, 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::size_t slot = node_slot[row_node[i]];
-          if (slot == std::numeric_limits<std::size_t>::max()) continue;
-          const std::size_t b = binned.bin(i, feature);
-          hist_g[slot * bins + b] += grad[i];
-          hist_h[slot * bins + b] += hess[i];
-        }
-        for (std::size_t s = 0; s < open; ++s) {
-          const double g_total = node_g[s];
-          const double h_total = node_h[s];
-          const double parent_score =
-              g_total * g_total / (h_total + params_.reg_lambda);
-          double gl = 0.0, hl = 0.0;
-          for (std::size_t b = 0; b + 1 < bins; ++b) {
-            gl += hist_g[s * bins + b];
-            hl += hist_h[s * bins + b];
-            const double gr = g_total - gl;
-            const double hr = h_total - hl;
-            if (hl < params_.min_child_weight || hr < params_.min_child_weight)
-              continue;
-            const double gain =
-                0.5 * (gl * gl / (hl + params_.reg_lambda) +
-                       gr * gr / (hr + params_.reg_lambda) - parent_score) -
-                params_.gamma;
-            if (gain > best[s].gain) {
-              best[s] = SplitChoice{gain, feature, b, true};
+      // Per-feature pass: build histograms for all open nodes at once,
+      // fanned out over contiguous feature chunks. Each feature's
+      // histogram is accumulated by exactly one thread in the sequential
+      // row order, so the float sums match the single-threaded pass
+      // bit-for-bit; per-chunk argmaxes are merged in ascending chunk
+      // order below, which equals the sequential ascending-feature fold
+      // (strict `>` keeps the earliest maximum) for any chunk partition.
+      const std::size_t n_chunks = pool.plan_chunks(binned.cols());
+      std::vector<std::vector<SplitChoice>> chunk_best(
+          n_chunks, std::vector<SplitChoice>(open));
+      pool.parallel_for_chunks(
+          binned.cols(),
+          [&](std::size_t chunk, std::size_t f_begin, std::size_t f_end) {
+            std::vector<SplitChoice>& local_best = chunk_best[chunk];
+            std::vector<double> hist_g, hist_h;
+            for (std::size_t feature = f_begin; feature < f_end; ++feature) {
+              const std::size_t bins = binned.bin_count(feature);
+              if (bins <= 1) continue;
+              hist_g.assign(open * bins, 0.0);
+              hist_h.assign(open * bins, 0.0);
+              for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t slot = node_slot[row_node[i]];
+                if (slot == std::numeric_limits<std::size_t>::max()) continue;
+                const std::size_t b = binned.bin(i, feature);
+                hist_g[slot * bins + b] += grad[i];
+                hist_h[slot * bins + b] += hess[i];
+              }
+              for (std::size_t s = 0; s < open; ++s) {
+                const double g_total = node_g[s];
+                const double h_total = node_h[s];
+                const double parent_score =
+                    g_total * g_total / (h_total + params_.reg_lambda);
+                double gl = 0.0, hl = 0.0;
+                for (std::size_t b = 0; b + 1 < bins; ++b) {
+                  gl += hist_g[s * bins + b];
+                  hl += hist_h[s * bins + b];
+                  const double gr = g_total - gl;
+                  const double hr = h_total - hl;
+                  if (hl < params_.min_child_weight ||
+                      hr < params_.min_child_weight)
+                    continue;
+                  const double gain =
+                      0.5 * (gl * gl / (hl + params_.reg_lambda) +
+                             gr * gr / (hr + params_.reg_lambda) -
+                             parent_score) -
+                      params_.gamma;
+                  if (gain > local_best[s].gain) {
+                    local_best[s] = SplitChoice{gain, feature, b, true};
+                  }
+                }
+              }
             }
+          });
+      std::vector<SplitChoice> best(open);
+      for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+        for (std::size_t s = 0; s < open; ++s) {
+          if (chunk_best[chunk][s].gain > best[s].gain) {
+            best[s] = chunk_best[chunk][s];
           }
         }
       }
@@ -204,14 +239,14 @@ void GradientBoostedTrees::fit(const Dataset& data) {
         split_bin[s] = best[s].bin;
         split_feature[s] = best[s].feature;
       }
-      for (std::size_t i = 0; i < n; ++i) {
+      pool.parallel_for(n, [&](std::size_t i) {
         const std::size_t slot = node_slot[row_node[i]];
         if (slot == std::numeric_limits<std::size_t>::max() || left_of[slot] < 0)
-          continue;
+          return;
         const bool goes_left =
             binned.bin(i, split_feature[slot]) <= split_bin[slot];
         row_node[i] = static_cast<std::size_t>(left_of[slot] + (goes_left ? 0 : 1));
-      }
+      });
       frontier = std::move(next_frontier);
     }
 

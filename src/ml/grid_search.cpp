@@ -1,5 +1,7 @@
 #include "ml/grid_search.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace scrubber::ml {
 
 std::vector<ParamPoint> param_grid(
@@ -22,26 +24,42 @@ std::vector<ParamPoint> param_grid(
 
 namespace {
 
-/// Mean F_beta over stratified folds for one pipeline factory.
-double score_folds(const Dataset& data,
-                   const std::function<Pipeline()>& factory, std::size_t folds,
-                   util::Rng& rng, double beta) {
-  const auto fold_indices = data.stratified_folds(folds, rng);
-  double total = 0.0;
-  for (std::size_t f = 0; f < folds; ++f) {
-    std::vector<std::size_t> train_idx;
-    for (std::size_t g = 0; g < folds; ++g) {
-      if (g == f) continue;
-      train_idx.insert(train_idx.end(), fold_indices[g].begin(),
-                       fold_indices[g].end());
-    }
-    const Dataset train = data.subset(train_idx);
-    const Dataset test = data.subset(fold_indices[f]);
-    Pipeline pipeline = factory();
-    pipeline.fit(train);
-    const std::vector<int> predicted = pipeline.predict_all(test);
-    total += evaluate(test.labels(), predicted).f_beta(beta);
+using FoldIndices = std::vector<std::vector<std::size_t>>;
+
+/// F_beta of one {configuration, fold} cell: train on every other fold,
+/// test on fold `f`. Pure given the fold assignment and factory, so
+/// cells evaluate concurrently; `factory` must be safe to call from
+/// multiple threads (the bench/test factories are stateless builders).
+double fold_fbeta(const Dataset& data, const FoldIndices& fold_indices,
+                  std::size_t f, const std::function<Pipeline()>& factory,
+                  double beta) {
+  std::vector<std::size_t> train_idx;
+  for (std::size_t g = 0; g < fold_indices.size(); ++g) {
+    if (g == f) continue;
+    train_idx.insert(train_idx.end(), fold_indices[g].begin(),
+                     fold_indices[g].end());
   }
+  const Dataset train = data.subset(train_idx);
+  const Dataset test = data.subset(fold_indices[f]);
+  Pipeline pipeline = factory();
+  pipeline.fit(train);
+  const std::vector<int> predicted = pipeline.predict_all(test);
+  return evaluate(test.labels(), predicted).f_beta(beta);
+}
+
+/// Mean F_beta over precomputed folds, cells fanned out over the
+/// training pool. Per-fold scores land in per-cell slots and sum in
+/// ascending fold order — the same float stream as a sequential loop,
+/// so the mean is bit-identical for any thread count.
+double score_folds(const Dataset& data, const FoldIndices& fold_indices,
+                   const std::function<Pipeline()>& factory, double beta) {
+  const std::size_t folds = fold_indices.size();
+  std::vector<double> fold_score(folds, 0.0);
+  util::training_pool().parallel_for(folds, [&](std::size_t f) {
+    fold_score[f] = fold_fbeta(data, fold_indices, f, factory, beta);
+  });
+  double total = 0.0;
+  for (const double score : fold_score) total += score;
   return total / static_cast<double>(folds);
 }
 
@@ -50,22 +68,44 @@ double score_folds(const Dataset& data,
 double cross_val_fbeta(const Dataset& data,
                        const std::function<Pipeline()>& factory,
                        std::size_t folds, util::Rng& rng, double beta) {
-  return score_folds(data, factory, folds, rng, beta);
+  return score_folds(data, data.stratified_folds(folds, rng), factory, beta);
 }
 
 GridSearchResult grid_search(
     const Dataset& data, const std::vector<ParamPoint>& grid,
     const std::function<Pipeline(const ParamPoint&)>& factory, std::size_t folds,
     util::Rng& rng) {
+  // Fold assignments draw from the RNG sequentially in grid order — the
+  // exact stream a sequential search consumes — then every {config, fold}
+  // cell trains concurrently.
+  std::vector<FoldIndices> fold_sets;
+  fold_sets.reserve(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    fold_sets.push_back(data.stratified_folds(folds, rng));
+  }
+
+  const std::size_t cells = grid.size() * folds;
+  std::vector<double> cell_score(cells, 0.0);
+  util::training_pool().parallel_for(cells, [&](std::size_t c) {
+    const std::size_t g = c / folds;
+    const std::size_t f = c % folds;
+    cell_score[c] = fold_fbeta(
+        data, fold_sets[g], f, [&] { return factory(grid[g]); }, 0.5);
+  });
+
+  // Reduce in grid order: per-point means sum folds ascending and the
+  // winner comparison scans points ascending with strict `>` — identical
+  // to the sequential search for any thread count.
   GridSearchResult result;
   result.all_scores.reserve(grid.size());
-  for (const auto& point : grid) {
-    const double score = score_folds(
-        data, [&] { return factory(point); }, folds, rng, 0.5);
-    result.all_scores.emplace_back(point, score);
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    double total = 0.0;
+    for (std::size_t f = 0; f < folds; ++f) total += cell_score[g * folds + f];
+    const double score = total / static_cast<double>(folds);
+    result.all_scores.emplace_back(grid[g], score);
     if (score > result.best_score) {
       result.best_score = score;
-      result.best_params = point;
+      result.best_params = grid[g];
     }
   }
   return result;

@@ -1,0 +1,80 @@
+// Thread-count bit-identity of parallel FP-Growth: frequent itemsets and
+// mined rules must come out exactly identical — same sets, same order,
+// same support/confidence bits — for any training-pool thread count
+// (DESIGN.md §9). Run under TSan to prove the shared-tree traversal
+// race-free.
+
+#include "arm/fpgrowth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scrubber::arm {
+namespace {
+
+const unsigned kThreadCounts[] = {2, 3, 8};
+
+/// Random transactions over a small item universe with skewed item
+/// popularity — deep enough trees that the per-item fan-out matters.
+std::vector<Transaction> random_transactions(std::size_t n,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Transaction> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Transaction tx;
+    for (std::uint32_t item = 0; item < 12; ++item) {
+      // Popularity falls with the item id; item 0 is near-ubiquitous.
+      if (rng.chance(0.9 / (1.0 + 0.4 * item))) {
+        tx.push_back(Item(Attribute::kDstPort, item));
+      }
+    }
+    if (tx.empty()) tx.push_back(Item(Attribute::kDstPort, 0));
+    std::sort(tx.begin(), tx.end());
+    out.push_back(std::move(tx));
+  }
+  return out;
+}
+
+TEST(FpGrowthParallel, ItemsetsIdenticalForAnyThreadCount) {
+  const auto transactions = random_transactions(500, 31);
+  FpGrowthParams params;
+  params.min_support = 0.05;
+
+  util::set_training_threads(1);
+  const auto reference = mine_frequent_itemsets(transactions, params);
+  ASSERT_FALSE(reference.empty());
+
+  for (const unsigned threads : kThreadCounts) {
+    util::set_training_threads(threads);
+    const auto itemsets = mine_frequent_itemsets(transactions, params);
+    EXPECT_EQ(itemsets, reference) << "thread count " << threads;
+  }
+  util::set_training_threads(0);
+}
+
+TEST(FpGrowthParallel, RulesIdenticalForAnyThreadCount) {
+  const auto transactions = random_transactions(800, 32);
+  FpGrowthParams params;
+  params.min_support = 0.04;
+  params.min_confidence = 0.6;
+
+  util::set_training_threads(1);
+  const auto reference = mine_rules(transactions, params);
+  ASSERT_FALSE(reference.empty());
+
+  for (const unsigned threads : kThreadCounts) {
+    util::set_training_threads(threads);
+    const auto rules = mine_rules(transactions, params);
+    EXPECT_EQ(rules, reference) << "thread count " << threads;
+  }
+  util::set_training_threads(0);
+}
+
+}  // namespace
+}  // namespace scrubber::arm

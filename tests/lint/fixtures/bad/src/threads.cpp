@@ -1,0 +1,19 @@
+// Fixture: scrubber-raw-thread — raw thread construction outside
+// src/util/thread_pool.hpp and src/runtime/.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void spawn() {
+  std::thread worker([] {});         // EXPECT-LINT: scrubber-raw-thread
+  std::jthread auto_join([] {});     // EXPECT-LINT: scrubber-raw-thread
+  std::vector<std::thread> workers;  // EXPECT-LINT: scrubber-raw-thread
+  // Static member access reads the machine, it does not spawn on it.
+  const unsigned width = std::thread::hardware_concurrency();
+  (void)width;
+  worker.join();
+  workers.clear();
+}
+
+}  // namespace fixture

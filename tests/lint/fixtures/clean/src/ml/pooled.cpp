@@ -1,0 +1,9 @@
+// Fixture: scrubber-raw-thread — learning-plane code reads the machine
+// width (static member access) but never constructs threads itself.
+#include <thread>
+
+namespace fixture {
+
+unsigned plan_width() { return std::thread::hardware_concurrency(); }
+
+}  // namespace fixture

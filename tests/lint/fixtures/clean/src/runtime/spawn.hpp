@@ -1,0 +1,18 @@
+#pragma once
+// Fixture: scrubber-raw-thread — the serving path owns its shard threads.
+#include <thread>
+
+namespace fixture {
+
+class Stage {
+ public:
+  void start() { worker_ = std::thread([] {}); }
+  void stop() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  std::thread worker_;
+};
+
+}  // namespace fixture

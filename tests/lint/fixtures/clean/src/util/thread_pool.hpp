@@ -1,0 +1,21 @@
+#pragma once
+// Fixture: scrubber-raw-thread — the pool itself is the one place in
+// src/ (outside the runtime) allowed to own raw workers.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Pool {
+ public:
+  explicit Pool(unsigned threads) {
+    for (unsigned w = 1; w < threads; ++w) {
+      workers_.emplace_back([] {});
+    }
+  }
+
+ private:
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace fixture

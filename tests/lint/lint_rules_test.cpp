@@ -134,9 +134,9 @@ TEST(ScrubberLint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"scrubber-memory-order", "scrubber-hot-path-blocking",
         "scrubber-hot-path-alloc", "scrubber-raw-rand",
-        "scrubber-float-counter", "scrubber-naked-new",
-        "scrubber-include-guard", "scrubber-banned-construct",
-        "scrubber-nolint-needs-reason"}) {
+        "scrubber-raw-thread", "scrubber-float-counter",
+        "scrubber-naked-new", "scrubber-include-guard",
+        "scrubber-banned-construct", "scrubber-nolint-needs-reason"}) {
     EXPECT_TRUE(rules.count(rule) > 0) << "missing rule id: " << rule;
   }
 }

@@ -3,8 +3,8 @@
 //
 //   ixpd --profile us2 --minutes 2880 --shards 4 [--seed 7]
 //        [--sampling 10] [--queue 4096] [--policy block|drop] [--wire 1]
-//        [--batch 512] [--gen-threads N] [--stats-every 240]
-//        [--warmup 1440] [--retrain 1440]
+//        [--batch 512] [--gen-threads N] [--train-threads N]
+//        [--stats-every 240] [--warmup 1440] [--retrain 1440]
 //
 // The daemon replays a seeded synthetic trace (the repo's stand-in for the
 // IXP's sFlow + BGP feeds, DESIGN.md §1) as fast as the engine accepts it:
@@ -27,6 +27,7 @@
 #include "core/live_detector.hpp"
 #include "flowgen/generator.hpp"
 #include "runtime/engine.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -88,6 +89,10 @@ int run(int argc, char** argv) {
   // (per-minute RNG streams), so default to every available core.
   const auto gen_threads = static_cast<unsigned>(args.number(
       "gen-threads", std::max(1U, std::thread::hardware_concurrency())));
+  // Learning-plane threads (LiveDetector retraining): deterministic for
+  // any value too (DESIGN.md §9), so also default to every core.
+  const unsigned train_threads = util::set_training_threads(
+      static_cast<unsigned>(args.number("train-threads", 0)));
 
   runtime::EngineConfig engine_config;
   engine_config.shards = static_cast<std::size_t>(args.number("shards", 4));
@@ -132,10 +137,11 @@ int run(int argc, char** argv) {
       });
 
   std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
-              "policy=%s sampling=1/%u wire=%d gen-threads=%u seed=%llu\n",
+              "policy=%s sampling=1/%u wire=%d gen-threads=%u "
+              "train-threads=%u seed=%llu\n",
               profile.name.c_str(), minutes, engine_config.shards,
               engine_config.queue_capacity, engine_config.batch_records,
-              policy.c_str(), sampling, wire, gen_threads,
+              policy.c_str(), sampling, wire, gen_threads, train_threads,
               static_cast<unsigned long long>(seed));
 
   const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);

@@ -22,6 +22,13 @@
 //   scrubber-raw-rand          no rand()/srand()/std::random_device
 //                              outside src/util/rng — all randomness is
 //                              seeded and reproducible
+//   scrubber-raw-thread        no std::thread/std::jthread outside
+//                              src/util/thread_pool.hpp and src/runtime/
+//                              — the learning plane fans out through
+//                              util::training_pool() (deterministic for
+//                              any thread count); static member access
+//                              like std::thread::hardware_concurrency()
+//                              is allowed anywhere
 //   scrubber-float-counter     byte/packet counters must not accumulate
 //                              in float/double (silent precision loss at
 //                              IXP volumes); integers only
@@ -468,6 +475,37 @@ void rule_raw_rand(const LexedFile& f, Sink& sink) {
   }
 }
 
+/// scrubber-raw-thread: naming std::thread/std::jthread (construction or
+/// member containers of them) is only allowed in src/util/thread_pool.hpp
+/// (the pool that owns learning-plane workers) and src/runtime/ (the
+/// serving path owns its shard threads) — everything else fans work out
+/// through util::training_pool(), which is what keeps learning-plane
+/// results bit-identical for any thread count. Static member access
+/// (std::thread::hardware_concurrency) is fine anywhere: it reads the
+/// machine, it does not spawn on it.
+void rule_raw_thread(const LexedFile& f, Sink& sink) {
+  if (f.rel_path == "src/util/thread_pool.hpp") return;
+  if (starts_with(f.rel_path, "src/runtime/")) return;
+  const auto& t = f.tokens;
+  for (std::size_t i = 3; i < t.size(); ++i) {
+    if (!t[i].is_identifier ||
+        (t[i].text != "thread" && t[i].text != "jthread")) {
+      continue;
+    }
+    const bool qualified = t[i - 3].text == "std" && t[i - 2].text == ":" &&
+                           t[i - 1].text == ":";
+    if (!qualified) continue;
+    const bool static_member_access =
+        i + 2 < t.size() && t[i + 1].text == ":" && t[i + 2].text == ":";
+    if (static_member_access) continue;
+    add(sink, f, t[i].line, "scrubber-raw-thread",
+        "`std::" + t[i].text +
+            "` outside src/util/thread_pool.hpp and src/runtime/ — fan "
+            "work out through util::training_pool() so results stay "
+            "bit-identical for any thread count");
+  }
+}
+
 /// scrubber-float-counter: names that look like byte/packet counters must
 /// not be declared float/double. Derived quantities (means, rates, sizes,
 /// shares) are fine and excluded by name.
@@ -587,9 +625,9 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kRules = {
       "scrubber-memory-order",    "scrubber-hot-path-blocking",
       "scrubber-hot-path-alloc",  "scrubber-raw-rand",
-      "scrubber-float-counter",   "scrubber-naked-new",
-      "scrubber-include-guard",   "scrubber-banned-construct",
-      "scrubber-nolint-needs-reason",
+      "scrubber-raw-thread",      "scrubber-float-counter",
+      "scrubber-naked-new",       "scrubber-include-guard",
+      "scrubber-banned-construct", "scrubber-nolint-needs-reason",
   };
   return kRules;
 }
@@ -642,6 +680,7 @@ int run(const fs::path& root, const std::vector<std::string>& targets,
     rule_hot_path_blocking(lexed, raw);
     rule_hot_path_alloc(lexed, raw);
     rule_raw_rand(lexed, raw);
+    rule_raw_thread(lexed, raw);
     rule_float_counter(lexed, raw);
     rule_naked_new(lexed, raw);
     rule_include_guard(lexed, raw);
