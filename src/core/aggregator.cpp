@@ -1,11 +1,19 @@
 #include "core/aggregator.hpp"
 
+// scrubber-hot-begin / scrubber-hot-end markers below fence the per-group
+// feature kernel; the scrubber-hot-path-container lint rule additionally
+// bans node-based std:: containers anywhere in this file — every per-flow
+// and per-group structure here is flat (util::FlatHash over contiguous
+// storage, plain vectors, fixed arrays).
+
 #include <algorithm>
 #include <array>
-#include <map>
+#include <memory>
+#include <numeric>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "util/flat_hash.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scrubber::core {
 namespace {
@@ -29,16 +37,16 @@ constexpr std::array<Metric, 3> kMetrics{
 };
 constexpr std::array<const char*, 3> kMetricNames{"pktsize", "bytes", "packets"};
 
-[[nodiscard]] double categorical_value(const net::FlowRecord& flow,
-                                       Categorical c) noexcept {
+[[nodiscard]] std::uint64_t categorical_value(const net::FlowRecord& flow,
+                                              Categorical c) noexcept {
   switch (c) {
-    case Categorical::kSrcIp: return static_cast<double>(flow.src_ip.value());
-    case Categorical::kSrcPort: return static_cast<double>(flow.src_port);
-    case Categorical::kDstPort: return static_cast<double>(flow.dst_port);
-    case Categorical::kSrcMember: return static_cast<double>(flow.src_member);
-    case Categorical::kProtocol: return static_cast<double>(flow.protocol);
+    case Categorical::kSrcIp: return flow.src_ip.value();
+    case Categorical::kSrcPort: return flow.src_port;
+    case Categorical::kDstPort: return flow.dst_port;
+    case Categorical::kSrcMember: return flow.src_member;
+    case Categorical::kProtocol: return flow.protocol;
   }
-  return 0.0;
+  return 0;
 }
 
 /// Accumulated metrics of one categorical group.
@@ -57,6 +65,30 @@ struct GroupMetrics {
     }
     return 0.0;
   }
+};
+
+/// One contiguous (minute, target) range of the sorted flow index.
+struct GroupRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// `a` ranks before `b`: metric descending, value ascending on ties. The
+/// tally keys are unique per group, so this is a strict total order and
+/// any top-k selection scheme yields the same first kRanks entries as the
+/// full sort the pre-flat implementation ran.
+[[nodiscard]] bool ranks_before(const std::pair<double, std::uint64_t>& a,
+                                const std::pair<double, std::uint64_t>& b)
+    noexcept {
+  return a.first > b.first || (a.first == b.first && a.second < b.second);
+}
+
+/// Per-worker scratch, reused across every group a chunk processes: the
+/// five categorical tallies keep their bucket arrays between clears, the
+/// tag buffer keeps its capacity. Nothing here escapes the group body.
+struct GroupScratch {
+  std::array<util::FlatHash<std::uint64_t, GroupMetrics>, 5> tallies;
+  std::vector<std::uint32_t> tags;
 };
 
 }  // namespace
@@ -95,102 +127,195 @@ AggregatedDataset Aggregator::aggregate(std::span<const net::FlowRecord> flows,
                                         const arm::RuleSet* rules) const {
   AggregatedDataset out;
   out.data = ml::Dataset(schema());
+  const std::size_t width = out.data.n_cols();
+  if (flows.empty()) return out;
 
-  // Group flow indices by (minute, target). std::map keeps record order
-  // deterministic (by minute, then target IP).
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::size_t>> groups;
+  // Sort-based group-by: one index sort by (minute, dst_ip, index) makes
+  // every (minute, target) group a contiguous range, in exactly the
+  // ascending (minute, target) record order the old std::map produced —
+  // with the index tiebreak keeping each group's flows in input order.
+  // (minute, dst_ip) packs into one 64-bit key whose integer order is the
+  // lexicographic order, so the sort touches 12-byte entries instead of
+  // chasing 48-byte FlowRecords through the comparator. Both producers of
+  // this span (the collector drain and the balancer) emit flows in minute
+  // order already, so when minutes arrive nondecreasing the global sort
+  // decomposes into independent per-minute run sorts — same final order,
+  // log(run) instead of log(n) comparisons per element.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(flows.size());
+  bool minutes_sorted = true;
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    groups[{flows[i].minute, flows[i].dst_ip.value()}].push_back(i);
+    keyed[i] = {(static_cast<std::uint64_t>(flows[i].minute) << 32) |
+                    flows[i].dst_ip.value(),
+                static_cast<std::uint32_t>(i)};
+    minutes_sorted &= i == 0 || flows[i].minute >= flows[i - 1].minute;
+  }
+  if (minutes_sorted) {
+    for (std::size_t i = 0; i < keyed.size();) {
+      const std::uint64_t minute_bits = keyed[i].first >> 32;
+      std::size_t j = i + 1;
+      while (j < keyed.size() && (keyed[j].first >> 32) == minute_bits) ++j;
+      std::sort(keyed.begin() + static_cast<std::ptrdiff_t>(i),
+                keyed.begin() + static_cast<std::ptrdiff_t>(j));
+      i = j;
+    }
+  } else {
+    std::sort(keyed.begin(), keyed.end());
   }
 
-  const std::size_t width = out.data.n_cols();
-  std::vector<double> row(width);
+  std::vector<std::uint32_t> order(flows.size());
+  std::vector<GroupRange> groups;
+  for (std::size_t i = 0; i < keyed.size();) {
+    std::size_t j = i;
+    while (j < keyed.size() && keyed[j].first == keyed[i].first) {
+      order[j] = keyed[j].second;
+      ++j;
+    }
+    groups.push_back(GroupRange{i, j});
+    i = j;
+  }
+  const std::size_t n_groups = groups.size();
 
-  for (const auto& [key, indices] : groups) {
-    std::fill(row.begin(), row.end(), ml::kMissing);
+  // Pre-sized output slots: every group owns row g of the matrix and
+  // meta[g] / labels[g], so the parallel build below is thread-count
+  // independent by construction (DESIGN.md §10 determinism contract).
+  // make_unique_for_overwrite: every row slot is fully written by its
+  // group (the kMissing fill), so zero-initializing the matrix first
+  // would be a second full pass over it for nothing.
+  const auto matrix = std::make_unique_for_overwrite<double[]>(
+      n_groups * width);
+  std::vector<int> labels(n_groups);
+  out.meta.resize(n_groups);
 
-    // Per categorical: group metrics by value.
-    std::size_t column = 0;
-    for (const Categorical c : kCategoricals) {
-      std::unordered_map<std::uint64_t, GroupMetrics> by_value;
-      for (const std::size_t i : indices) {
-        const auto value =
-            static_cast<std::uint64_t>(categorical_value(flows[i], c));
-        auto& group = by_value[value];
-        group.bytes += flows[i].bytes;
-        group.packets += flows[i].packets;
+  const auto build_group = [&](GroupScratch& scratch, std::size_t g) {
+    const GroupRange range = groups[g];
+    double* row = matrix.get() + g * width;
+    std::fill(row, row + width, ml::kMissing);
+
+    // One walk over the group's flows fills all five categorical tallies,
+    // the label, the byte totals, and the per-vector byte tally (the old
+    // implementation re-scanned the group once per categorical).
+    for (auto& tally : scratch.tallies) tally.clear();
+    std::array<std::uint64_t, net::kDdosVectorCount> vector_bytes{};
+    bool any_vector = false;
+    std::uint64_t total_bytes = 0;
+    int label = 0;
+    // scrubber-hot-begin
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const net::FlowRecord& flow = flows[order[i]];
+      for (std::size_t c = 0; c < kCategoricals.size(); ++c) {
+        GroupMetrics& cell =
+            *scratch.tallies[c]
+                 .try_emplace(categorical_value(flow, kCategoricals[c]))
+                 .first;
+        cell.bytes += flow.bytes;
+        cell.packets += flow.packets;
       }
-      for (const Metric m : kMetrics) {
-        // Top-kRanks values by this metric (descending).
-        std::vector<std::pair<double, std::uint64_t>> ranked;
-        ranked.reserve(by_value.size());
-        for (const auto& [value, metrics] : by_value)
-          ranked.emplace_back(metrics.metric(m), value);
-        std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-          return a.first > b.first || (a.first == b.first && a.second < b.second);
-        });
-        for (std::size_t r = 0; r < kRanks; ++r) {
-          if (r < ranked.size()) {
-            row[column] = static_cast<double>(ranked[r].second);
-            row[column + 1] = ranked[r].first;
-          }
-          column += 2;
+      label |= flow.blackholed ? 1 : 0;
+      total_bytes += flow.bytes;
+      if (const auto v = flow.vector()) {
+        vector_bytes[static_cast<std::size_t>(*v)] += flow.bytes;
+        any_vector = true;
+      }
+    }
+    // scrubber-hot-end
+    labels[g] = label;
+
+    // Rankings: bounded top-kRanks selection per (categorical, metric)
+    // instead of a full sort of every tally, and one fused walk over each
+    // tally's entries feeding all three metric rankings at once (the
+    // entries array is the per-group hot data; three separate walks paid
+    // for it three times).
+    for (std::size_t c = 0; c < kCategoricals.size(); ++c) {
+      std::array<std::array<std::pair<double, std::uint64_t>, kRanks>, 3> top;
+      std::array<std::size_t, 3> top_n{};
+      const auto consider = [&](std::size_t m,
+                                std::pair<double, std::uint64_t> cand) {
+        auto& heap = top[m];
+        std::size_t& n = top_n[m];
+        if (n == kRanks && !ranks_before(cand, heap[kRanks - 1])) return;
+        std::size_t at = n < kRanks ? n++ : kRanks - 1;
+        heap[at] = cand;
+        while (at > 0 && ranks_before(heap[at], heap[at - 1])) {
+          std::swap(heap[at], heap[at - 1]);
+          --at;
+        }
+      };
+      for (const auto& entry : scratch.tallies[c].entries()) {
+        const GroupMetrics& gm = entry.value;
+        consider(0, {gm.metric(Metric::kMeanPacketSize), entry.key});
+        consider(1, {gm.metric(Metric::kSumBytes), entry.key});
+        consider(2, {gm.metric(Metric::kSumPackets), entry.key});
+      }
+      for (std::size_t m = 0; m < kMetrics.size(); ++m) {
+        double* cell = row + (c * kMetrics.size() + m) * kRanks * 2;
+        for (std::size_t r = 0; r < top_n[m]; ++r) {
+          cell[2 * r] = static_cast<double>(top[m][r].second);
+          cell[2 * r + 1] = top[m][r].first;
         }
       }
     }
 
-    // Label: any blackholed flow marks the record.
-    int label = 0;
-    for (const std::size_t i : indices) {
-      if (flows[i].blackholed) {
-        label = 1;
-        break;
-      }
-    }
-    out.data.add_row(row, label);
-
     // Metadata: tags, dominant vector, bookkeeping.
-    RecordMeta meta;
-    meta.minute = key.first;
-    meta.target = net::Ipv4Address(key.second);
-    meta.flow_count = static_cast<std::uint32_t>(indices.size());
+    const net::FlowRecord& head = flows[order[range.begin]];
+    RecordMeta& meta = out.meta[g];
+    meta.minute = head.minute;
+    meta.target = head.dst_ip;
+    meta.flow_count = static_cast<std::uint32_t>(range.end - range.begin);
 
     if (rules != nullptr) {
-      std::unordered_set<std::uint32_t> tags;
-      for (const std::size_t i : indices) {
-        for (const std::uint32_t tag : rules->matching_accepted(flows[i], itemizer_))
-          tags.insert(tag);
+      scratch.tags.clear();
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        for (const std::uint32_t tag :
+             rules->matching_accepted(flows[order[i]], itemizer_)) {
+          scratch.tags.push_back(tag);
+        }
       }
-      meta.rule_tags.assign(tags.begin(), tags.end());
-      std::sort(meta.rule_tags.begin(), meta.rule_tags.end());
+      // Sorted-vector dedup (the old unordered_set + sort, flattened).
+      std::sort(scratch.tags.begin(), scratch.tags.end());
+      scratch.tags.erase(
+          std::unique(scratch.tags.begin(), scratch.tags.end()),
+          scratch.tags.end());
+      meta.rule_tags.assign(scratch.tags.begin(), scratch.tags.end());
     }
 
     // Dominant vector by bytes among vector-classified flows. A vector
     // only counts as dominant when it carries a meaningful share (>= 25%)
     // of the record's total bytes — otherwise a single stray benign
-    // fragment or DNS response would mislabel a benign record.
-    std::unordered_map<std::size_t, std::uint64_t> vector_bytes;
-    std::uint64_t total_bytes = 0;
-    for (const std::size_t i : indices) {
-      total_bytes += flows[i].bytes;
-      if (const auto v = flows[i].vector()) {
-        vector_bytes[static_cast<std::size_t>(*v)] += flows[i].bytes;
-      }
-    }
-    if (!vector_bytes.empty()) {
+    // fragment or DNS response would mislabel a benign record. Ascending
+    // scan with a strict `>` keeps the smallest vector on byte ties,
+    // matching the old map's explicit tiebreak.
+    if (any_vector) {
       std::size_t best = 0;
       std::uint64_t best_bytes = 0;
-      for (const auto& [v, bytes] : vector_bytes) {
-        if (bytes > best_bytes || (bytes == best_bytes && v < best)) {
+      for (std::size_t v = 0; v < vector_bytes.size(); ++v) {
+        if (vector_bytes[v] > best_bytes) {
           best = v;
-          best_bytes = bytes;
+          best_bytes = vector_bytes[v];
         }
       }
       if (best_bytes * 4 >= total_bytes) {
         meta.dominant_vector = static_cast<net::DdosVector>(best);
       }
     }
-    out.meta.push_back(std::move(meta));
+  };
+
+  // Independent per-group rows, built in parallel on the shared pool.
+  // Rows land in pre-sized slots, so output is bit-identical for any
+  // thread count; `threads_` (0 = pool width) caps the chunk fan-out.
+  util::training_pool().parallel_for_chunks(
+      n_groups,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        GroupScratch scratch;
+        for (std::size_t c = 0; c < scratch.tallies.size(); ++c) {
+          scratch.tallies[c].reserve(64);
+        }
+        for (std::size_t g = begin; g < end; ++g) build_group(scratch, g);
+      },
+      threads_);
+
+  out.data.reserve_rows(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    out.data.add_row({matrix.get() + g * width, width}, labels[g]);
   }
   return out;
 }

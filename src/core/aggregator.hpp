@@ -54,6 +54,12 @@ struct AggregatedDataset {
 };
 
 /// Builds aggregated records from balanced flows.
+///
+/// The implementation is a sort-based group-by: one index sort by
+/// (minute, target) turns every record into a contiguous flow range, and
+/// the independent per-group feature rows are built in parallel on
+/// util::training_pool() into pre-sized slots. Output is bit-identical
+/// for any thread count (DESIGN.md §10).
 class Aggregator {
  public:
   /// The fixed 150-column schema (+ categorical/numeric kinds).
@@ -66,8 +72,15 @@ class Aggregator {
       std::span<const net::FlowRecord> flows,
       const arm::RuleSet* rules = nullptr) const;
 
+  /// Caps the parallel feature build at `threads` workers (0 = the full
+  /// training pool). Any value produces bit-identical output; this is a
+  /// resource knob, not a semantic one.
+  void set_threads(unsigned threads) noexcept { threads_ = threads; }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
  private:
   arm::Itemizer itemizer_;
+  unsigned threads_ = 0;
 };
 
 }  // namespace scrubber::core

@@ -1,9 +1,17 @@
 #include "core/balancer.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace scrubber::core {
+
+void Balancer::append_flow(IpGroup& group, const net::FlowRecord& flow) {
+  FlowNode* node = arena_.alloc<FlowNode>(1);
+  node->flow = &flow;
+  node->next = nullptr;
+  (group.head == nullptr ? group.head : group.tail->next) = node;
+  group.tail = node;
+  ++group.count;
+}
 
 void Balancer::add_minute(std::uint32_t minute,
                           std::span<const net::FlowRecord> flows) {
@@ -11,31 +19,39 @@ void Balancer::add_minute(std::uint32_t minute,
   stats.minute = minute;
   stats.raw_flows = flows.size();
 
-  // Partition by label, group by destination IP.
-  std::unordered_map<std::uint32_t, std::vector<const net::FlowRecord*>> bh_by_ip;
-  std::unordered_map<std::uint32_t, std::vector<const net::FlowRecord*>> benign_by_ip;
+  // Partition by label, group by destination IP: flat tables over
+  // arena-backed per-IP chains — no per-IP vector, no per-flow node
+  // allocation once the scratch is warm.
+  arena_.reset();
+  bh_by_ip_.clear();
+  benign_by_ip_.clear();
   for (const auto& flow : flows) {
     stats.raw_bytes += flow.bytes;
     if (flow.blackholed) {
       stats.blackhole_bytes += flow.bytes;
       ++stats.blackhole_flows;
-      bh_by_ip[flow.dst_ip.value()].push_back(&flow);
+      append_flow(bh_by_ip_[flow.dst_ip.value()], flow);
     } else {
-      benign_by_ip[flow.dst_ip.value()].push_back(&flow);
+      append_flow(benign_by_ip_[flow.dst_ip.value()], flow);
     }
   }
-  stats.blackhole_unique_ips = static_cast<std::uint32_t>(bh_by_ip.size());
+  stats.blackhole_unique_ips = static_cast<std::uint32_t>(bh_by_ip_.size());
 
   totals_.raw_flows += stats.raw_flows;
   totals_.raw_bytes += stats.raw_bytes;
 
-  if (!bh_by_ip.empty() && !benign_by_ip.empty()) {
-    // Keep every blackholed flow.
-    for (const auto& [ip, group] : bh_by_ip) {
-      for (const auto* flow : group) balanced_.push_back(*flow);
-      totals_.balanced_blackhole_flows += group.size();
-      totals_.balanced_flows += group.size();
-    }
+  if (!bh_by_ip_.empty() && !benign_by_ip_.empty()) {
+    // Keep every blackholed flow, in first-seen destination-IP order
+    // (insertion-ordered table iteration — deterministic across
+    // platforms, unlike the unordered_map walk it replaces).
+    bh_by_ip_.for_each([&](std::uint32_t, const IpGroup& group) {
+      for (const FlowNode* node = group.head; node != nullptr;
+           node = node->next) {
+        balanced_.push_back(*node->flow);
+      }
+      totals_.balanced_blackhole_flows += group.count;
+      totals_.balanced_flows += group.count;
+    });
 
     // Select as many benign destination IPs as blackholed ones. Each
     // blackholed IP is paired with the unused benign IP whose flow count
@@ -46,24 +62,40 @@ void Balancer::add_minute(std::uint32_t minute,
     // full benign service mix. Residual deficits spill over to further
     // benign IPs (capped) so the classes stay flow-balanced (Table 2).
     std::vector<std::pair<std::size_t, std::uint32_t>> benign_ranked;
-    benign_ranked.reserve(benign_by_ip.size());
-    for (const auto& [ip, group] : benign_by_ip)
-      benign_ranked.emplace_back(group.size(), ip);
+    benign_ranked.reserve(benign_by_ip_.size());
+    benign_by_ip_.for_each([&](std::uint32_t ip, const IpGroup& group) {
+      benign_ranked.emplace_back(group.count, ip);
+    });
     std::sort(benign_ranked.begin(), benign_ranked.end());  // ascending count
 
     std::vector<std::size_t> bh_sizes;
-    bh_sizes.reserve(bh_by_ip.size());
-    for (const auto& [ip, group] : bh_by_ip) bh_sizes.push_back(group.size());
+    bh_sizes.reserve(bh_by_ip_.size());
+    bh_by_ip_.for_each([&](std::uint32_t, const IpGroup& group) {
+      bh_sizes.push_back(group.count);
+    });
     std::sort(bh_sizes.begin(), bh_sizes.end(), std::greater<>());
 
     auto take_from = [&](std::uint32_t ip, std::size_t want, bool spillover) {
-      auto& group = benign_by_ip[ip];
-      const std::size_t take = std::min(want, group.size());
-      if (take < group.size()) {
-        const auto chosen = rng_.sample_indices(group.size(), take);
-        for (const std::size_t i : chosen) balanced_.push_back(*group[i]);
+      const IpGroup& group = *benign_by_ip_.find(ip);
+      const std::size_t take = std::min(want, group.count);
+      if (take < group.count) {
+        // sample_indices returns ascending indices: one chain walk picks
+        // them all.
+        const auto chosen = rng_.sample_indices(group.count, take);
+        const FlowNode* node = group.head;
+        std::size_t at = 0;
+        for (const std::size_t i : chosen) {
+          while (at < i) {
+            node = node->next;
+            ++at;
+          }
+          balanced_.push_back(*node->flow);
+        }
       } else {
-        for (const auto* flow : group) balanced_.push_back(*flow);
+        for (const FlowNode* node = group.head; node != nullptr;
+             node = node->next) {
+          balanced_.push_back(*node->flow);
+        }
       }
       if (spillover) {
         stats.benign_spillover_flows += take;
@@ -97,7 +129,7 @@ void Balancer::add_minute(std::uint32_t minute,
     // benign IPs. Capped so a single huge attack cannot flood the set
     // with hundreds of thin destination IPs; a small residual flow
     // imbalance matches the paper's 48-55% range.
-    const std::size_t spillover_cap = 3 * bh_by_ip.size() + 2;
+    const std::size_t spillover_cap = 3 * bh_by_ip_.size() + 2;
     while (deficit > 0 && !benign_ranked.empty() &&
            stats.benign_spillover_ips < spillover_cap) {
       deficit -= take_from(benign_ranked.back().second, deficit, true);

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "util/arena.hpp"
+#include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
 namespace scrubber::core {
@@ -105,10 +107,30 @@ class Balancer {
   [[nodiscard]] const BalanceTotals& totals() const noexcept { return totals_; }
 
  private:
+  /// One flow of a per-IP chain; nodes live in the per-minute arena.
+  struct FlowNode {
+    const net::FlowRecord* flow = nullptr;
+    FlowNode* next = nullptr;
+  };
+  /// Per-destination-IP flow chain in scan order (head -> tail).
+  struct IpGroup {
+    FlowNode* head = nullptr;
+    FlowNode* tail = nullptr;
+    std::size_t count = 0;
+  };
+
+  void append_flow(IpGroup& group, const net::FlowRecord& flow);
+
   util::Rng rng_;
   std::vector<net::FlowRecord> balanced_;
   std::vector<MinuteBalanceStats> minute_stats_;
   BalanceTotals totals_;
+  // Per-minute scratch, reused across add_minute calls: the grouping
+  // tables keep their bucket arrays, the arena keeps its blocks — a
+  // steady-state minute allocates nothing.
+  util::Arena arena_;
+  util::FlatHash<std::uint32_t, IpGroup> bh_by_ip_;
+  util::FlatHash<std::uint32_t, IpGroup> benign_by_ip_;
 };
 
 /// Convenience: balances a fully materialized trace (groups by minute).

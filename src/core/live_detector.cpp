@@ -8,6 +8,7 @@ LiveDetector::LiveDetector(LiveDetectorConfig config, DetectionSink sink)
   scrubber_config.model = config_.model;
   scrubber_config.mining = config_.mining;
   scrubber_config.seed = config_.seed;
+  scrubber_config.agg_threads = config_.agg_threads;
   scrubber_ = IxpScrubber(scrubber_config);
 }
 

@@ -31,6 +31,9 @@ struct LiveDetectorConfig {
   std::size_t rule_min_items = 3;      ///< specificity bar for mined rules
   arm::FpGrowthParams mining{};
   std::uint64_t seed = 77;
+  /// Workers for the per-minute parallel feature build (0 = full training
+  /// pool); output is bit-identical for any value.
+  unsigned agg_threads = 0;
 };
 
 /// One detection event.

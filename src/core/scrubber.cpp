@@ -3,7 +3,9 @@
 namespace scrubber::core {
 
 IxpScrubber::IxpScrubber(ScrubberConfig config)
-    : config_(config), pipeline_(ml::make_model_pipeline(config.model)) {}
+    : config_(config), pipeline_(ml::make_model_pipeline(config.model)) {
+  aggregator_.set_threads(config_.agg_threads);
+}
 
 arm::RuleSet IxpScrubber::mine_tagging_rules(
     std::span<const net::FlowRecord> balanced_flows,

@@ -31,6 +31,9 @@ struct ScrubberConfig {
   double rule_loss_confidence = 0.01; ///< Algorithm 1 L_c (Appendix A)
   double rule_loss_support = 0.01;    ///< Algorithm 1 L_s
   std::uint64_t seed = 42;
+  /// Workers for the parallel feature build (0 = full training pool);
+  /// bit-identical output for any value.
+  unsigned agg_threads = 0;
 };
 
 /// Verdict for one aggregated target record.

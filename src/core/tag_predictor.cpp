@@ -1,7 +1,8 @@
 #include "core/tag_predictor.hpp"
 
 #include <algorithm>
-#include <map>
+
+#include "util/flat_hash.hpp"
 
 namespace scrubber::core {
 
@@ -9,16 +10,20 @@ void TagPredictor::fit(const AggregatedDataset& data) {
   tags_.clear();
   models_.clear();
 
-  // Frequency of each rule tag over the training records.
-  std::map<std::uint32_t, std::size_t> tag_counts;
+  // Frequency of each rule tag over the training records. The build order
+  // does not matter (ranked is fully sorted below), so a flat table
+  // replaces the node-based std::map.
+  util::FlatHash<std::uint32_t, std::size_t> tag_counts;
+  tag_counts.reserve(data.size());
   for (const auto& meta : data.meta) {
     for (const std::uint32_t tag : meta.rule_tags) ++tag_counts[tag];
   }
   std::vector<std::pair<std::size_t, std::uint32_t>> ranked;
-  for (const auto& [tag, count] : tag_counts) {
+  ranked.reserve(tag_counts.size());
+  tag_counts.for_each([&](std::uint32_t tag, std::size_t count) {
     if (count >= config_.min_positive && count + config_.min_positive <= data.size())
       ranked.emplace_back(count, tag);
-  }
+  });
   std::sort(ranked.rbegin(), ranked.rend());
   if (ranked.size() > config_.max_rules) ranked.resize(config_.max_rules);
 

@@ -61,6 +61,13 @@ class Dataset {
   /// Appends a row; `values.size()` must equal n_cols().
   void add_row(std::span<const double> values, int label);
 
+  /// Pre-sizes storage for `rows` total rows (producers that know their
+  /// row count up front avoid the geometric-growth copies of add_row).
+  void reserve_rows(std::size_t rows) {
+    data_.reserve(rows * n_cols());
+    labels_.reserve(rows);
+  }
+
   /// Read-only view of row i.
   [[nodiscard]] std::span<const double> row(std::size_t i) const noexcept {
     return {data_.data() + i * n_cols(), n_cols()};

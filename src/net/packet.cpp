@@ -1,6 +1,5 @@
 #include "net/packet.hpp"
 
-#include <algorithm>
 #include <limits>
 
 #include "util/rng.hpp"
@@ -43,11 +42,10 @@ void FlowCache::add(const PacketHeader& packet) {
   key.protocol = packet.protocol;
   key.member = packet.ingress_member;
 
-  auto [it, inserted] = cache_.try_emplace(key);
-  if (inserted) it->second.order = next_order_++;
-  it->second.packets += 1;
-  it->second.bytes += packet.length;
-  it->second.tcp_flags |= packet.tcp_flags;
+  Counters& counters = *cache_.try_emplace(key).first;
+  counters.packets += 1;
+  counters.bytes += packet.length;
+  counters.tcp_flags |= packet.tcp_flags;
 }
 
 FlowRecord FlowCache::to_record(const FlowKey& key,
@@ -68,20 +66,17 @@ FlowRecord FlowCache::to_record(const FlowKey& key,
 }
 
 std::vector<FlowRecord> FlowCache::drain_before(std::uint32_t minute) {
-  std::vector<std::pair<std::uint64_t, FlowRecord>> drained;
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (it->first.minute < minute) {
-      drained.emplace_back(it->second.order, to_record(it->first, it->second));
-      it = cache_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  std::sort(drained.begin(), drained.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // extract_if visits dense entries in insertion order, so the output is
+  // ordered by first-packet arrival — bit-identical to the old
+  // sort-by-insertion-counter drain.
   std::vector<FlowRecord> out;
-  out.reserve(drained.size());
-  for (auto& [order, flow] : drained) out.push_back(flow);
+  cache_.extract_if(
+      [minute](const FlowKey& key, const Counters&) {
+        return key.minute < minute;
+      },
+      [&](const FlowKey& key, Counters&& counters) {
+        out.push_back(to_record(key, counters));
+      });
   return out;
 }
 

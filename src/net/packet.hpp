@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/flow.hpp"
+#include "util/flat_hash.hpp"
 
 namespace scrubber::net {
 
@@ -89,6 +89,12 @@ class PacketSampler {
 /// Collector-side aggregation of sampled packet headers into per-minute
 /// FlowRecords. Counters are scaled by the sampling rate (standard sFlow
 /// estimation: each sampled packet represents `rate` packets).
+///
+/// Storage is a util::FlatHash keyed by FlowKey: one probe + contiguous
+/// slot per sampled packet, no node allocation, and insertion-ordered
+/// dense entries — which is exactly the deterministic drain order the
+/// pre-flat implementation produced by sorting on a per-entry insertion
+/// counter.
 class FlowCache {
  public:
   /// `sampling_rate` is the 1-in-N rate used for scaling estimates.
@@ -113,15 +119,13 @@ class FlowCache {
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
     std::uint8_t tcp_flags = 0;
-    std::uint64_t order = 0;  // insertion order for deterministic drains
   };
 
   [[nodiscard]] FlowRecord to_record(const FlowKey& key,
                                      const Counters& counters) const;
 
   std::uint32_t sampling_rate_;
-  std::uint64_t next_order_ = 0;
-  std::unordered_map<FlowKey, Counters, FlowKeyHash> cache_;
+  util::FlatHash<FlowKey, Counters, FlowKeyHash> cache_;
 };
 
 }  // namespace scrubber::net

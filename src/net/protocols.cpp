@@ -36,6 +36,25 @@ constexpr std::array<DdosVector, 7> kTop7{
     DdosVector::kAppleRd,
 };
 
+// Reflection signatures keyed by source port, one direct-indexed table
+// per protocol that carries any (0 = no signature, else vector + 1). The
+// linear kSignatures scan this replaces sat on the per-flow aggregation
+// path; the table lookup is exact for it because every signature port is
+// unique within its protocol.
+template <std::uint8_t Protocol>
+consteval std::array<std::uint8_t, 65536> make_port_table() {
+  std::array<std::uint8_t, 65536> table{};
+  for (const VectorSignature& sig : kSignatures) {
+    if (sig.protocol == Protocol && sig.src_port != 0) {
+      table[sig.src_port] =
+          static_cast<std::uint8_t>(static_cast<std::size_t>(sig.vector) + 1);
+    }
+  }
+  return table;
+}
+constexpr std::array<std::uint8_t, 65536> kUdpPortTable = make_port_table<17>();
+constexpr std::array<std::uint8_t, 65536> kTcpPortTable = make_port_table<6>();
+
 }  // namespace
 
 std::string_view protocol_name(std::uint8_t protocol) noexcept {
@@ -87,10 +106,13 @@ std::optional<DdosVector> classify_vector(std::uint8_t protocol,
   if (protocol == 17 && src_port == 0 && dst_port == 0)
     return DdosVector::kUdpFragment;
   // Reflection traffic is identified by its source (reflector) port.
-  for (const auto& sig : kSignatures) {
-    if (sig.src_port != 0 && sig.protocol == protocol && sig.src_port == src_port)
-      return sig.vector;
+  std::uint8_t hit = 0;
+  if (protocol == 17) {
+    hit = kUdpPortTable[src_port];
+  } else if (protocol == 6) {
+    hit = kTcpPortTable[src_port];
   }
+  if (hit != 0) return static_cast<DdosVector>(hit - 1);
   return std::nullopt;
 }
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <map>
 #include <tuple>
 
 #include "util/check.hpp"
@@ -261,8 +260,13 @@ void ShardedCollector::shard_worker(std::size_t index) {
 void ShardedCollector::merge_worker() {
   const std::size_t n = shards_.size();
   std::vector<std::uint32_t> horizon(n, 0);
-  // Minute -> concatenated shard flows, naturally minute-ordered.
-  std::map<std::uint32_t, std::vector<net::FlowRecord>> pending;
+  // Minute -> concatenated shard flows, kept sorted by minute. The live
+  // set is tiny (a few minutes around the barrier), so a flat sorted
+  // vector beats the node-based std::map it replaces: lower_bound insert,
+  // front-range drain, and the per-minute flow vectors move — they are
+  // never copied.
+  std::vector<std::pair<std::uint32_t, std::vector<net::FlowRecord>>> pending;
+  pending.reserve(16);
 #if defined(SCRUBBER_CHECKED)
   bool emitted_any = false;
   std::uint32_t last_emitted = 0;   ///< highest minute handed to the sink
@@ -270,18 +274,18 @@ void ShardedCollector::merge_worker() {
 #endif
 
   const auto emit_below = [&](std::uint32_t barrier) {
-    while (!pending.empty() && pending.begin()->first < barrier) {
-      auto node = pending.extract(pending.begin());
-      std::vector<net::FlowRecord>& flows = node.mapped();
+    auto it = pending.begin();
+    for (; it != pending.end() && it->first < barrier; ++it) {
+      std::vector<net::FlowRecord> flows = std::move(it->second);
 #if defined(SCRUBBER_CHECKED)
       // Minute-barrier ordering: the sink sees minutes strictly
       // increasing, and never a minute the barrier has not yet passed.
-      SCRUBBER_ASSERT(!emitted_any || node.key() > last_emitted,
+      SCRUBBER_ASSERT(!emitted_any || it->first > last_emitted,
                       "merge emitted minutes out of order");
-      SCRUBBER_ASSERT(node.key() < barrier,
+      SCRUBBER_ASSERT(it->first < barrier,
                       "merge emitted a minute at or beyond the barrier");
       emitted_any = true;
-      last_emitted = node.key();
+      last_emitted = it->first;
 #endif
       // Canonical order erases shard interleaving: output is identical
       // for any shard count and any thread timing.
@@ -290,10 +294,11 @@ void ShardedCollector::merge_worker() {
       minutes_merged_.fetch_add(1, std::memory_order_relaxed);
       merge_.add_out(1);
       if (sink_) {
-        sink_(node.key(),
+        sink_(it->first,
               std::span<const net::FlowRecord>(flows.data(), flows.size()));
       }
     }
+    pending.erase(pending.begin(), it);
   };
 
   MergeMessage message;
@@ -308,7 +313,15 @@ void ShardedCollector::merge_worker() {
       SCRUBBER_ASSERT(message.minute >= last_barrier,
                       "shard batch arrived for an already-emitted minute");
 #endif
-      auto& bucket = pending[message.minute];
+      auto slot = std::lower_bound(
+          pending.begin(), pending.end(), message.minute,
+          [](const auto& entry, std::uint32_t m) { return entry.first < m; });
+      if (slot == pending.end() || slot->first != message.minute) {
+        slot = pending.emplace(slot, message.minute,
+                               std::vector<net::FlowRecord>{});
+      }
+      std::vector<net::FlowRecord>& bucket = slot->second;
+      bucket.reserve(bucket.size() + message.flows.size());
       bucket.insert(bucket.end(), message.flows.begin(), message.flows.end());
     } else {
       // Per-shard horizons only advance: the MPSC queue preserves each

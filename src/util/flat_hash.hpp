@@ -1,0 +1,255 @@
+#pragma once
+// util::FlatHash — open-addressing hash map for the flow hot path.
+//
+// std::unordered_map costs one node allocation plus one pointer chase per
+// entry; at IXP packet rates that is the dominant cost of the per-minute
+// cycle (FlowCache key lookup per sampled packet, per-group categorical
+// tallies in the aggregator). FlatHash removes both:
+//
+//   * contiguous storage — entries live in one std::vector in insertion
+//     order, the bucket array is a parallel std::vector of 32-bit slot
+//     references. Zero per-entry allocations; reserve() preallocates both.
+//   * power-of-two capacity + linear probing — the probe sequence is a
+//     cache-friendly forward scan; the bucket index is `mixed & mask`.
+//   * avalanched hashing — the user hash is finalized through mix64
+//     (splitmix64), so weak hashes (identity, truncation) still spread
+//     over the table. Degenerate hashes degrade to a linear scan but stay
+//     correct (see the collision-stress test).
+//   * insertion-order iteration — for_each/entries walk the dense vector,
+//     so drains are deterministic for a given insertion sequence. This is
+//     the contract FlowCache::drain_before is built on.
+//   * tombstone reuse — erase marks the bucket as a tombstone and the
+//     dense entry as dead; a later insert probing past the tombstone
+//     reuses the bucket slot. Dead dense entries are compacted on the
+//     next rehash (triggered by growth or by a dead-majority), preserving
+//     the insertion order of the survivors.
+//
+// Mapped types may be non-trivial (e.g. std::vector); they are moved on
+// rehash/compaction. Keys need operator== and the supplied hash functor.
+// Not thread-safe; share-nothing per thread like the rest of the hot path.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace scrubber::util {
+
+template <typename Key, typename Mapped, typename Hash = std::hash<Key>>
+class FlatHash {
+ public:
+  struct Entry {
+    Key key{};
+    Mapped value{};
+    bool alive = false;
+  };
+
+  FlatHash() = default;
+  /// Preallocates for `expected` entries (see reserve()).
+  explicit FlatHash(std::size_t expected) { reserve(expected); }
+
+  /// Live entries.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Current bucket-array capacity (0 before the first insert/reserve).
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+  /// Ensures `expected` entries fit without a rehash.
+  void reserve(std::size_t expected) {
+    entries_.reserve(expected);
+    std::size_t want = kMinBuckets;
+    // Grow until expected fits under the load-factor ceiling.
+    while (expected + (expected >> 1) >= want) want <<= 1;
+    if (want > buckets_.size()) rehash(want);
+  }
+
+  /// Removes every entry; keeps both allocations for reuse.
+  void clear() noexcept {
+    entries_.clear();
+    buckets_.assign(buckets_.size(), kEmpty);
+    size_ = 0;
+    dead_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Pointer to the mapped value, or nullptr.
+  [[nodiscard]] Mapped* find(const Key& key) noexcept {
+    const std::size_t slot = find_slot(key);
+    return slot == kNpos ? nullptr : &entries_[slot].value;
+  }
+  [[nodiscard]] const Mapped* find(const Key& key) const noexcept {
+    const std::size_t slot =
+        const_cast<FlatHash*>(this)->find_slot(key);
+    return slot == kNpos ? nullptr : &entries_[slot].value;
+  }
+
+  /// Inserts a default-constructed mapped value if absent. Returns the
+  /// mapped value and whether it was inserted.
+  std::pair<Mapped*, bool> try_emplace(const Key& key) {
+    if (buckets_.empty() || needs_rehash()) grow();
+    const std::uint64_t mixed = mix64(static_cast<std::uint64_t>(hash_(key)));
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t bucket = static_cast<std::size_t>(mixed) & mask;
+    std::size_t first_tombstone = kNpos;
+    for (;;) {
+      const std::uint32_t ref = buckets_[bucket];
+      if (ref == kEmpty) {
+        const std::size_t target =
+            first_tombstone == kNpos ? bucket : first_tombstone;
+        if (first_tombstone != kNpos) --tombstones_;
+        entries_.push_back(Entry{key, Mapped{}, true});
+        buckets_[target] = static_cast<std::uint32_t>(entries_.size() - 1) +
+                           kFirstSlot;
+        ++size_;
+        return {&entries_.back().value, true};
+      }
+      if (ref == kTombstone) {
+        if (first_tombstone == kNpos) first_tombstone = bucket;
+      } else {
+        Entry& entry = entries_[ref - kFirstSlot];
+        if (entry.key == key) return {&entry.value, false};
+      }
+      bucket = (bucket + 1) & mask;
+    }
+  }
+
+  Mapped& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  /// Removes `key`; the bucket becomes a reusable tombstone and the dense
+  /// entry is skipped by iteration until the next compaction.
+  bool erase(const Key& key) {
+    if (buckets_.empty()) return false;
+    const std::uint64_t mixed = mix64(static_cast<std::uint64_t>(hash_(key)));
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t bucket = static_cast<std::size_t>(mixed) & mask;
+    for (;;) {
+      const std::uint32_t ref = buckets_[bucket];
+      if (ref == kEmpty) return false;
+      if (ref != kTombstone) {
+        Entry& entry = entries_[ref - kFirstSlot];
+        if (entry.key == key) {
+          entry.alive = false;
+          entry.value = Mapped{};  // release owned storage now
+          buckets_[bucket] = kTombstone;
+          ++tombstones_;
+          --size_;
+          ++dead_;
+          // A dead-majority dense vector wastes iteration and memory;
+          // compact in place (same bucket count, order preserved).
+          if (dead_ > entries_.size() / 2) rehash(buckets_.size());
+          return true;
+        }
+      }
+      bucket = (bucket + 1) & mask;
+    }
+  }
+
+  /// Visits live entries in insertion order as fn(key, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.alive) fn(entry.key, entry.value);
+    }
+  }
+
+  /// Dense storage, insertion-ordered; dead entries have alive == false.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Removes every entry matching pred(key, value), visiting candidates in
+  /// insertion order and handing removed values to consume(key, value&&).
+  /// Survivors keep their relative order. One O(n) pass — this is the
+  /// FlowCache minute-drain primitive.
+  template <typename Pred, typename Consume>
+  void extract_if(Pred&& pred, Consume&& consume) {
+    std::size_t removed = 0;
+    for (Entry& entry : entries_) {
+      if (!entry.alive) continue;
+      if (pred(entry.key, entry.value)) {
+        consume(entry.key, std::move(entry.value));
+        entry.alive = false;
+        ++removed;
+      }
+    }
+    if (removed == 0) return;
+    size_ -= removed;
+    dead_ += removed;
+    rehash(buckets_.size());  // compact + rebuild; order preserved
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kTombstone = 1;
+  static constexpr std::uint32_t kFirstSlot = 2;
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool needs_rehash() const noexcept {
+    // Load factor (incl. tombstones) capped at 3/4.
+    const std::size_t used = entries_.size() - dead_ + tombstones_;
+    return (used + 1) + ((used + 1) >> 1) >= buckets_.size();
+  }
+
+  void grow() {
+    std::size_t want = buckets_.empty() ? kMinBuckets : buckets_.size();
+    // Only enlarge when live entries (not tombstones) demand it; a
+    // tombstone-heavy table rehashes at the same size, wiping them.
+    if ((size_ + 1) + ((size_ + 1) >> 1) >= want) want <<= 1;
+    rehash(want);
+  }
+
+  void rehash(std::size_t bucket_count) {
+    if (dead_ > 0) {
+      // Compact the dense vector, preserving insertion order.
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < entries_.size(); ++read) {
+        if (!entries_[read].alive) continue;
+        if (write != read) entries_[write] = std::move(entries_[read]);
+        ++write;
+      }
+      entries_.resize(write);
+      dead_ = 0;
+    }
+    buckets_.assign(bucket_count, kEmpty);
+    tombstones_ = 0;
+    const std::size_t mask = bucket_count - 1;
+    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+      const std::uint64_t mixed =
+          mix64(static_cast<std::uint64_t>(hash_(entries_[slot].key)));
+      std::size_t bucket = static_cast<std::size_t>(mixed) & mask;
+      while (buckets_[bucket] != kEmpty) bucket = (bucket + 1) & mask;
+      buckets_[bucket] = static_cast<std::uint32_t>(slot) + kFirstSlot;
+    }
+  }
+
+  /// Dense-slot index of `key`, or kNpos.
+  [[nodiscard]] std::size_t find_slot(const Key& key) noexcept {
+    if (buckets_.empty()) return kNpos;
+    const std::uint64_t mixed = mix64(static_cast<std::uint64_t>(hash_(key)));
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t bucket = static_cast<std::size_t>(mixed) & mask;
+    for (;;) {
+      const std::uint32_t ref = buckets_[bucket];
+      if (ref == kEmpty) return kNpos;
+      if (ref != kTombstone) {
+        const std::size_t slot = ref - kFirstSlot;
+        if (entries_[slot].key == key) return slot;
+      }
+      bucket = (bucket + 1) & mask;
+    }
+  }
+
+  std::vector<Entry> entries_;          ///< dense, insertion-ordered
+  std::vector<std::uint32_t> buckets_;  ///< kEmpty/kTombstone/slot + 2
+  std::size_t size_ = 0;                ///< live entries
+  std::size_t dead_ = 0;                ///< dead dense entries
+  std::size_t tombstones_ = 0;          ///< tombstoned buckets
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace scrubber::util

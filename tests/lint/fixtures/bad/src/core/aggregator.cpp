@@ -1,0 +1,15 @@
+// Fixture: the aggregator is a container-banned file in its entirety —
+// no hot-region markers needed for the rule to fire here.
+
+#include <unordered_set>
+
+namespace fixture {
+
+inline int distinct(const int* values, int n) {
+  std::unordered_set<int> seen;  // EXPECT-LINT: scrubber-hot-path-container
+  int count = 0;
+  for (int i = 0; i < n; ++i) count += seen.insert(values[i]).second ? 1 : 0;
+  return count;
+}
+
+}  // namespace fixture

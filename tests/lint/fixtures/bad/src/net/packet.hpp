@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: node-based containers in the flow-cache hot file — banned
+// anywhere in src/net/packet.*, not just inside hot regions.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct FlowCacheish {
+  std::map<std::uint64_t, std::uint64_t> order;           // EXPECT-LINT: scrubber-hot-path-container
+  std::unordered_map<std::uint64_t, std::uint64_t> data;  // EXPECT-LINT: scrubber-hot-path-container
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+#pragma once
+// Fixture: node-based container inside a scrubber-hot region fires in any
+// file, not just the dedicated hot-path sources.
+
+#include <map>
+
+namespace fixture {
+
+inline int tally(const int* values, int n) {
+  // scrubber-hot-begin
+  std::map<int, int> counts;  // EXPECT-LINT: scrubber-hot-path-container
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += counts[values[i]]++;
+  // scrubber-hot-end
+  return total;
+}
+
+}  // namespace fixture

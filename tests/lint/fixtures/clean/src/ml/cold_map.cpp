@@ -1,0 +1,13 @@
+// Fixture: node-based containers are fine off the hot path — this file
+// has no hot region and is not one of the dedicated hot-path sources.
+
+#include <map>
+
+namespace fixture {
+
+inline int lookup(const std::map<int, int>& table, int key) {
+  const auto it = table.find(key);
+  return it == table.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

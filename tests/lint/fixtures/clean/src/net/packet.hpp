@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: the NOLINT escape hatch for the hot-path container ban.
+
+#include <map>
+
+namespace fixture {
+
+// Cold-path diagnostics index: populated once at shutdown, never touched
+// per flow, so the ordered-iteration convenience is worth the nodes.
+using DebugIndex =
+    std::map<int, int>;  // NOLINT(scrubber-hot-path-container): cold shutdown-time index, never per-flow
+
+}  // namespace fixture

@@ -133,7 +133,8 @@ TEST(ScrubberLint, ListRulesNamesEveryRule) {
   const std::set<std::string> rules(run.lines.begin(), run.lines.end());
   for (const char* rule :
        {"scrubber-memory-order", "scrubber-hot-path-blocking",
-        "scrubber-hot-path-alloc", "scrubber-raw-rand",
+        "scrubber-hot-path-alloc", "scrubber-hot-path-container",
+        "scrubber-raw-rand",
         "scrubber-raw-thread", "scrubber-float-counter",
         "scrubber-naked-new", "scrubber-include-guard",
         "scrubber-banned-construct", "scrubber-nolint-needs-reason"}) {

@@ -1,0 +1,71 @@
+// util::Arena bump-allocator tests: alignment, block reuse across reset()
+// (the steady-state zero-allocation property), and geometric growth with
+// the per-block cap.
+
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+
+namespace scrubber::util {
+namespace {
+
+TEST(Arena, AllocatesAlignedStorage) {
+  Arena arena;
+  auto* bytes = arena.alloc<std::uint8_t>(3);
+  ASSERT_NE(bytes, nullptr);
+  auto* words = arena.alloc<std::uint64_t>(4);
+  ASSERT_NE(words, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) % alignof(std::uint64_t),
+            0u);
+  // The storage is writable and distinct.
+  std::memset(bytes, 0xAB, 3);
+  for (int i = 0; i < 4; ++i) words[i] = 7;
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(words[3], 7u);
+  EXPECT_GE(arena.bytes_used(), 3 + 4 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, ResetReusesBlocks) {
+  Arena arena(1024);
+  for (int i = 0; i < 100; ++i) std::ignore = arena.alloc<std::uint64_t>(16);
+  const std::size_t blocks = arena.block_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(blocks, 0u);
+
+  // Same workload after reset: no new blocks, same capacity.
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 100; ++i) std::ignore = arena.alloc<std::uint64_t>(16);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, GrowsForOversizedRequests) {
+  Arena arena(1024);
+  // A single request larger than any default block still succeeds.
+  auto* big = arena.alloc<std::uint8_t>(1 << 20);
+  ASSERT_NE(big, nullptr);
+  big[0] = 1;
+  big[(1 << 20) - 1] = 2;
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(Arena, PointersRemainValidAcrossGrowth) {
+  Arena arena(1024);
+  // Earlier allocations must not move when the arena adds blocks.
+  auto* first = arena.alloc<std::uint64_t>(1);
+  *first = 0xFEEDFACE;
+  for (int i = 0; i < 10000; ++i) std::ignore = arena.alloc<std::uint64_t>(8);
+  EXPECT_EQ(*first, 0xFEEDFACE);
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+}  // namespace
+}  // namespace scrubber::util

@@ -4,6 +4,7 @@
 //   ixpd --profile us2 --minutes 2880 --shards 4 [--seed 7]
 //        [--sampling 10] [--queue 4096] [--policy block|drop] [--wire 1]
 //        [--batch 512] [--gen-threads N] [--train-threads N]
+//        [--agg-threads N]
 //        [--stats-every 240] [--warmup 1440] [--retrain 1440]
 //
 // The daemon replays a seeded synthetic trace (the repo's stand-in for the
@@ -116,6 +117,10 @@ int run(int argc, char** argv) {
   detector_config.min_flows_per_target =
       static_cast<std::uint32_t>(args.number("min-flows", 8));
   detector_config.seed = seed ^ 0xD43;
+  // Feature-build threads for the per-minute aggregation (bit-identical
+  // for any value, DESIGN.md §10); 0 = full training pool.
+  detector_config.agg_threads =
+      static_cast<unsigned>(args.number("agg-threads", 0));
 
   std::uint64_t detections = 0;
   core::LiveDetector detector(
@@ -138,10 +143,11 @@ int run(int argc, char** argv) {
 
   std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
               "policy=%s sampling=1/%u wire=%d gen-threads=%u "
-              "train-threads=%u seed=%llu\n",
+              "train-threads=%u agg-threads=%u seed=%llu\n",
               profile.name.c_str(), minutes, engine_config.shards,
               engine_config.queue_capacity, engine_config.batch_records,
               policy.c_str(), sampling, wire, gen_threads, train_threads,
+              detector_config.agg_threads,
               static_cast<unsigned long long>(seed));
 
   const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);

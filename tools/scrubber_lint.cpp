@@ -19,6 +19,13 @@
 //                              calls (push_back, resize, reserve, ...) —
 //                              per-record batch kernels preallocate
 //                              outside the region
+//   scrubber-hot-path-container no node-based std::map/unordered_map/
+//                              unordered_set inside scrubber-hot regions
+//                              or anywhere in src/net/packet.* and
+//                              src/core/aggregator.* — the flow hot path
+//                              runs on util::FlatHash / sorted vectors
+//                              (contiguous, insertion-ordered, no
+//                              per-node allocation)
 //   scrubber-raw-rand          no rand()/srand()/std::random_device
 //                              outside src/util/rng — all randomness is
 //                              seeded and reproducible
@@ -458,6 +465,46 @@ void rule_hot_path_alloc(const LexedFile& f, Sink& sink) {
   }
 }
 
+/// scrubber-hot-path-container: the flow hot path must not touch
+/// node-based associative containers. std::map / std::unordered_map /
+/// std::unordered_set are banned (i) inside scrubber-hot regions in any
+/// file and (ii) *anywhere* in src/net/packet.* and src/core/aggregator.*
+/// — the per-flow and per-group paths run on util::FlatHash and sorted
+/// vectors (contiguous storage, deterministic insertion-order iteration,
+/// zero per-node allocation), and a casual `std::map` reintroduced there
+/// is exactly the regression this PR removed.
+void rule_hot_path_container(const LexedFile& f, Sink& sink) {
+  const bool hot_file = starts_with(f.rel_path, "src/net/packet.") ||
+                        starts_with(f.rel_path, "src/core/aggregator.");
+  if (!hot_file && f.hot_regions.empty()) return;
+  static const std::set<std::string> kNodeContainers = {
+      "map", "multimap", "unordered_map", "unordered_multimap",
+      "unordered_set", "unordered_multiset",
+  };
+  const auto in_hot_region = [&](int line) {
+    for (const HotRegion& region : f.hot_regions) {
+      if (region.begin_line == 0 || region.end_line == 0) continue;
+      if (line > region.begin_line && line < region.end_line) return true;
+    }
+    return false;
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 3; i < t.size(); ++i) {
+    if (!t[i].is_identifier || kNodeContainers.count(t[i].text) == 0) continue;
+    // Only the std::-qualified spelling: `map` alone is too common a name
+    // (the functional idiom, local variables) to match bare.
+    const bool qualified = t[i - 3].text == "std" && t[i - 2].text == ":" &&
+                           t[i - 1].text == ":";
+    if (!qualified) continue;
+    if (!hot_file && !in_hot_region(t[i].line)) continue;
+    add(sink, f, t[i].line, "scrubber-hot-path-container",
+        "`std::" + t[i].text +
+            "` on the flow hot path — use util::FlatHash or a sorted "
+            "vector (contiguous, insertion-ordered, no per-node "
+            "allocation)");
+  }
+}
+
 /// scrubber-raw-rand: all randomness flows through util/rng (seeded,
 /// reproducible); libc rand and std::random_device are banned elsewhere.
 void rule_raw_rand(const LexedFile& f, Sink& sink) {
@@ -624,10 +671,11 @@ void rule_banned_construct(const LexedFile& f, Sink& sink) {
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kRules = {
       "scrubber-memory-order",    "scrubber-hot-path-blocking",
-      "scrubber-hot-path-alloc",  "scrubber-raw-rand",
-      "scrubber-raw-thread",      "scrubber-float-counter",
-      "scrubber-naked-new",       "scrubber-include-guard",
-      "scrubber-banned-construct", "scrubber-nolint-needs-reason",
+      "scrubber-hot-path-alloc",  "scrubber-hot-path-container",
+      "scrubber-raw-rand",        "scrubber-raw-thread",
+      "scrubber-float-counter",   "scrubber-naked-new",
+      "scrubber-include-guard",   "scrubber-banned-construct",
+      "scrubber-nolint-needs-reason",
   };
   return kRules;
 }
@@ -679,6 +727,7 @@ int run(const fs::path& root, const std::vector<std::string>& targets,
     rule_memory_order(lexed, raw);
     rule_hot_path_blocking(lexed, raw);
     rule_hot_path_alloc(lexed, raw);
+    rule_hot_path_container(lexed, raw);
     rule_raw_rand(lexed, raw);
     rule_raw_thread(lexed, raw);
     rule_float_counter(lexed, raw);
