@@ -3,12 +3,15 @@
 // figure of the paper; see DESIGN.md §3). Every harness is deterministic:
 // all randomness flows from fixed seeds.
 
+#include <sys/utsname.h>
+
 #include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/balancer.hpp"
@@ -57,6 +60,15 @@ inline void set_provenance(util::Json& out) {
   out.set("compiler", SCRUBBER_COMPILER);
   out.set("checked", SCRUBBER_OPT_CHECKED != 0);
   out.set("sanitize", SCRUBBER_OPT_SANITIZE);
+  // Machine provenance: core count bounds every parallelism claim (rows
+  // with shards > cores are advisory) and the kernel version pins syscall
+  // behavior the netio benches depend on (recvmmsg, io_uring, SO_RXQ_OVFL).
+  out.set("hardware_concurrency",
+          static_cast<double>(std::max(1u, std::thread::hardware_concurrency())));
+  utsname kernel{};
+  out.set("kernel", ::uname(&kernel) == 0
+                        ? std::string(kernel.sysname) + " " + kernel.release
+                        : "unknown");
 }
 #endif  // SCRUBBER_SOURCE_DIR
 

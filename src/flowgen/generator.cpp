@@ -429,12 +429,17 @@ void TrafficGenerator::generate_minute(std::uint32_t minute, Labeling labeling,
   }
 }
 
+void TrafficGenerator::schedule_control_plane(std::uint32_t start_minute,
+                                              std::uint32_t minutes) {
+  util::Rng schedule_rng = util::Rng(seed_).fork(0xA77ACC);
+  schedule_attacks(start_minute, minutes, schedule_rng);
+}
+
 void TrafficGenerator::generate_stream(std::uint32_t start_minute,
                                        std::uint32_t minutes, Labeling labeling,
                                        const MinuteSink& sink,
                                        unsigned threads) {
-  util::Rng schedule_rng = util::Rng(seed_).fork(0xA77ACC);
-  schedule_attacks(start_minute, minutes, schedule_rng);
+  schedule_control_plane(start_minute, minutes);
 
   if (threads <= 1 || minutes <= 1) {
     std::vector<net::FlowRecord> batch;

@@ -77,6 +77,14 @@ class TrafficGenerator {
                        Labeling labeling, const MinuteSink& sink,
                        unsigned threads = 1);
 
+  /// Schedules the attacks and BGP announcements for the range without
+  /// generating any flows. The control plane depends only on (seed,
+  /// range), so a wire-listening daemon can pre-draw the exact update
+  /// schedule its remote load generator will pace flows against; read the
+  /// result from updates()/registry()/attacks().
+  void schedule_control_plane(std::uint32_t start_minute,
+                              std::uint32_t minutes);
+
   /// Convenience: materializes the whole trace (use for short ranges).
   [[nodiscard]] GeneratedTrace generate(std::uint32_t start_minute,
                                         std::uint32_t minutes,

@@ -20,12 +20,14 @@ std::string EngineSnapshot::stats_line() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "t=%8.1fs datagrams=%llu flows=%llu minutes=%llu "
-                "drops=%llu late=%llu rate=%.0f flows/s",
+                "drops=%llu late=%llu bad=%llu rate=%.0f flows/s",
                 wall_seconds, static_cast<unsigned long long>(datagrams),
                 static_cast<unsigned long long>(flows_out),
                 static_cast<unsigned long long>(minutes_merged),
                 static_cast<unsigned long long>(input_drops),
-                static_cast<unsigned long long>(late_drops), flows_per_sec());
+                static_cast<unsigned long long>(late_drops),
+                static_cast<unsigned long long>(decode_errors),
+                flows_per_sec());
   return line;
 }
 

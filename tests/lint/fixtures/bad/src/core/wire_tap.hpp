@@ -1,0 +1,32 @@
+#pragma once
+// Fixture: scrubber-hot-path-blocking — socket syscalls are blocking
+// calls (they park the thread in the kernel); outside src/netio/ a hot
+// region must never touch the wire.
+#include <cstddef>
+
+namespace fixture {
+
+struct Frame {
+  unsigned char* data = nullptr;
+  std::size_t size = 0;
+};
+
+class WireTap {
+ public:
+  // scrubber-hot-begin
+  long pull(int fd, Frame frame) {
+    return recv(fd, frame.data, frame.size, 0);  // EXPECT-LINT: scrubber-hot-path-blocking
+  }
+  long push(int fd, Frame frame) {
+    return sendto(fd, frame.data, frame.size, 0, nullptr, 0);  // EXPECT-LINT: scrubber-hot-path-blocking
+  }
+  // scrubber-hot-end
+
+  // The same syscall on a cold path is allowed — the rule guards the
+  // marked kernels, not socket use in general.
+  long drain(int fd, Frame frame) {
+    return recv(fd, frame.data, frame.size, 0);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+#pragma once
+// Fixture: the src/netio/ exemption covers socket syscalls ONLY — locks
+// and allocation inside a netio hot region still fire like anywhere else.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class GreedyReceiver {
+ public:
+  // scrubber-hot-begin
+  long harvest(int fd, void* frames, unsigned long count) {
+    std::lock_guard guard(lock_);  // EXPECT-LINT: scrubber-hot-path-blocking
+    sizes_.push_back(count);       // EXPECT-LINT: scrubber-hot-path-alloc
+    // The syscall itself is exempt here: netio is the wire boundary.
+    return recvmmsg(fd, frames, count, 0, nullptr);
+  }
+  // scrubber-hot-end
+
+ private:
+  std::mutex lock_;
+  std::vector<unsigned long> sizes_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+#pragma once
+// Clean fixture: src/netio/ is the wire boundary — socket syscalls inside
+// its hot regions and a raw receive thread are this subsystem's job, and
+// the linter must stay silent on both.
+#include <thread>
+
+namespace fixture {
+
+class BatchReceiver {
+ public:
+  // scrubber-hot-begin
+  int harvest(int fd, void* frames, unsigned count) {
+    if (poll(nullptr, 0, 0) < 0) return -1;
+    return recvmmsg(fd, frames, count, 0, nullptr);
+  }
+  // scrubber-hot-end
+
+  void start() { thread_ = std::thread([] {}); }
+  void stop() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace fixture

@@ -6,6 +6,8 @@
 //        [--batch 512] [--gen-threads N] [--train-threads N]
 //        [--agg-threads N]
 //        [--stats-every 240] [--warmup 1440] [--retrain 1440]
+//   ixpd --listen <port> [--bind 127.0.0.1] [--backend auto|recvmmsg|io_uring]
+//        [--recv-batch 32] [--idle-stop-ms 0] --profile ... --minutes ...
 //
 // The daemon replays a seeded synthetic trace (the repo's stand-in for the
 // IXP's sFlow + BGP feeds, DESIGN.md §1) as fast as the engine accepts it:
@@ -16,6 +18,16 @@
 // after the warmup day and then emits detections, printed as they happen.
 // A stats heartbeat prints every --stats-every minutes of stream time and
 // a final throughput report (flows/sec, per-stage utilization) at exit.
+//
+// --listen replaces the in-process feed with the wire: sFlow datagrams
+// arrive over UDP (from tools/scrubber-loadgen or any sFlow v5 exporter)
+// through src/netio's batched listener. The BGP schedule is pre-drawn from
+// (--profile, --minutes, --seed) — which must match the load generator's —
+// and interleaved by export minute exactly as the in-process feed would,
+// so verdicts match the in-process run bit for bit (DESIGN.md §11). The
+// run ends at the load generator's FIN sentinel (or --idle-stop-ms of
+// silence, 0 = wait forever); the report then includes the listener line:
+// datagrams/bytes received, ring-full drops, kernel socket-buffer drops.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +39,7 @@
 
 #include "core/live_detector.hpp"
 #include "flowgen/generator.hpp"
+#include "netio/listener.hpp"
 #include "runtime/engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -141,50 +154,105 @@ int run(int argc, char** argv) {
         detector.ingest_minute(minute, flows);
       });
 
-  std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
-              "policy=%s sampling=1/%u wire=%d gen-threads=%u "
-              "train-threads=%u agg-threads=%u seed=%llu\n",
-              profile.name.c_str(), minutes, engine_config.shards,
-              engine_config.queue_capacity, engine_config.batch_records,
-              policy.c_str(), sampling, wire, gen_threads, train_threads,
-              detector_config.agg_threads,
-              static_cast<unsigned long long>(seed));
-
-  const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);
   flowgen::TrafficGenerator generator(profile, seed);
   std::size_t next_update = 0;
-  generator.generate_stream(
-      0, minutes, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
-      [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
-        // BGP first: announcements effective in minute M must be in the
-        // registry before M's bin closes (same order the route server
-        // feed would deliver them).
-        const auto& updates = generator.updates();
-        while (next_update < updates.size() &&
-               updates[next_update].first <= minute) {
-          engine.push_bgp(updates[next_update].second,
-                          std::uint64_t{updates[next_update].first} * 60'000);
-          ++next_update;
-        }
-        for (const auto& datagram :
-             core::flows_to_datagrams(flows, sampling, agent)) {
-          if (wire) {
-            engine.push_wire(datagram.encode());
-          } else {
-            engine.push(datagram);
+  const std::string listen = args.get("listen", "");
+  std::string listener_summary;
+  if (!listen.empty()) {
+    // Wire mode: flows arrive over UDP; only the BGP control plane is
+    // drawn locally (it depends on seed + range alone) and interleaved by
+    // the export minute peeked off each datagram — the same ordering the
+    // in-process feed below produces.
+    generator.schedule_control_plane(0, minutes);
+    const auto& updates = generator.updates();
+    netio::ListenerConfig listener_config;
+    listener_config.bind_address = args.get("bind", "127.0.0.1");
+    listener_config.port =
+        static_cast<std::uint16_t>(args.number("listen", 0));
+    listener_config.batch_msgs =
+        static_cast<std::size_t>(args.number("recv-batch", 32));
+    listener_config.idle_stop_ms =
+        static_cast<int>(args.number("idle-stop-ms", 0));
+    const std::string backend = args.get("backend", "auto");
+    if (backend == "recvmmsg") {
+      listener_config.backend = netio::RecvBackend::kRecvmmsg;
+    } else if (backend == "io_uring") {
+      listener_config.backend = netio::RecvBackend::kIoUring;
+    } else if (backend != "auto") {
+      throw std::runtime_error("--backend must be auto, recvmmsg or io_uring");
+    }
+    netio::UdpListener listener(
+        listener_config, engine, [&](std::uint32_t minute) {
+          while (next_update < updates.size() &&
+                 updates[next_update].first <= minute) {
+            engine.push_bgp(updates[next_update].second,
+                            std::uint64_t{updates[next_update].first} *
+                                60'000);
+            ++next_update;
           }
-        }
-        if (stats_every != 0 && minute != 0 && minute % stats_every == 0) {
-          std::printf("STATS minute=%u %s\n", minute,
-                      engine.stats().stats_line().c_str());
-          std::fflush(stdout);
-        }
-      },
-      gen_threads);
-  engine.finish();
+        });
+    std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
+                "policy=%s listen=%s:%u backend=%s seed=%llu\n",
+                profile.name.c_str(), minutes, engine_config.shards,
+                engine_config.queue_capacity, engine_config.batch_records,
+                policy.c_str(), listener_config.bind_address.c_str(),
+                listener.port(), backend.c_str(),
+                static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+    // This (the main) thread becomes the engine's producer: it runs the
+    // receive loop, pushes every datagram and BGP update, and finishes
+    // the engine when the FIN sentinel arrives.
+    listener.run();
+    const netio::ListenerSnapshot snapshot = listener.stats();
+    if (!snapshot.fin_seen) engine.finish();  // idle timeout: drain anyway
+    listener_summary = snapshot.summary();
+  } else {
+    std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
+                "policy=%s sampling=1/%u wire=%d gen-threads=%u "
+                "train-threads=%u agg-threads=%u seed=%llu\n",
+                profile.name.c_str(), minutes, engine_config.shards,
+                engine_config.queue_capacity, engine_config.batch_records,
+                policy.c_str(), sampling, wire, gen_threads, train_threads,
+                detector_config.agg_threads,
+                static_cast<unsigned long long>(seed));
+
+    const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);
+    generator.generate_stream(
+        0, minutes, flowgen::TrafficGenerator::Labeling::kBlackholeRegistry,
+        [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
+          // BGP first: announcements effective in minute M must be in the
+          // registry before M's bin closes (same order the route server
+          // feed would deliver them).
+          const auto& updates = generator.updates();
+          while (next_update < updates.size() &&
+                 updates[next_update].first <= minute) {
+            engine.push_bgp(updates[next_update].second,
+                            std::uint64_t{updates[next_update].first} * 60'000);
+            ++next_update;
+          }
+          for (const auto& datagram :
+               core::flows_to_datagrams(flows, sampling, agent)) {
+            if (wire) {
+              engine.push_wire(datagram.encode());
+            } else {
+              engine.push(datagram);
+            }
+          }
+          if (stats_every != 0 && minute != 0 && minute % stats_every == 0) {
+            std::printf("STATS minute=%u %s\n", minute,
+                        engine.stats().stats_line().c_str());
+            std::fflush(stdout);
+          }
+        },
+        gen_threads);
+    engine.finish();
+  }
 
   const runtime::EngineSnapshot snapshot = engine.stats();
   std::printf("\n--- ixpd report ---\n%s", snapshot.report().c_str());
+  if (!listener_summary.empty()) {
+    std::printf("%s\n", listener_summary.c_str());
+  }
   std::printf("detector: trained=%d retrains=%u window_flows=%zu "
               "detections=%llu\n",
               detector.ready(), detector.retrain_count(),

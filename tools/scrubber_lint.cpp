@@ -12,7 +12,11 @@
 //   scrubber-hot-path-blocking no mutexes, condition variables, or
 //                              sleeping calls inside regions marked
 //                              // scrubber-hot-begin / // scrubber-hot-end
-//                              (the SPSC ring push/pop paths)
+//                              (the SPSC ring push/pop paths); socket
+//                              syscalls (recv*/send*/poll/select/...)
+//                              count as blocking too, everywhere except
+//                              src/netio/ — the listener is the one
+//                              component allowed to touch the wire
 //   scrubber-hot-path-alloc    no heap allocation inside scrubber-hot
 //                              regions: no new/make_unique/make_shared,
 //                              no malloc family, no growing container
@@ -30,12 +34,15 @@
 //                              outside src/util/rng — all randomness is
 //                              seeded and reproducible
 //   scrubber-raw-thread        no std::thread/std::jthread outside
-//                              src/util/thread_pool.hpp and src/runtime/
-//                              — the learning plane fans out through
-//                              util::training_pool() (deterministic for
-//                              any thread count); static member access
-//                              like std::thread::hardware_concurrency()
-//                              is allowed anywhere
+//                              src/util/thread_pool.hpp, src/runtime/
+//                              and src/netio/ (the serving path owns its
+//                              shard threads; the listener owns its
+//                              receive thread) — everything else fans out
+//                              through util::training_pool()
+//                              (deterministic for any thread count);
+//                              static member access like
+//                              std::thread::hardware_concurrency() is
+//                              allowed anywhere
 //   scrubber-float-counter     byte/packet counters must not accumulate
 //                              in float/double (silent precision loss at
 //                              IXP volumes); integers only
@@ -252,11 +259,16 @@ LexedFile lex(const std::string& rel_path, const std::string& text) {
       continue;
     }
     // Number (digits and the usual suffix soup; precision irrelevant here).
+    // Digit separators (60'000) are consumed here — otherwise the `'`
+    // would open a phantom char literal that eats code until the next
+    // apostrophe, comments and hot-region markers included.
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
       std::size_t end = i;
       while (end < n && (is_ident_char(text[end]) || text[end] == '.' ||
                          ((text[end] == '+' || text[end] == '-') && end > i &&
-                          (text[end - 1] == 'e' || text[end - 1] == 'E')))) {
+                          (text[end - 1] == 'e' || text[end - 1] == 'E')) ||
+                         (text[end] == '\'' && end + 1 < n &&
+                          is_ident_char(text[end + 1])))) {
         ++end;
       }
       out.tokens.push_back(Token{text.substr(i, end - i), line, false});
@@ -395,7 +407,12 @@ void rule_memory_order(const LexedFile& f, Sink& sink) {
 }
 
 /// scrubber-hot-path-blocking: inside // scrubber-hot-begin/end regions
-/// (the SPSC ring push/pop paths) no locks, condvars, or sleeps.
+/// (the SPSC ring push/pop paths) no locks, condvars, or sleeps. Socket
+/// syscalls are blocking calls too (recvmmsg parks the thread in the
+/// kernel even with a timeout) and are banned in hot regions everywhere
+/// except src/netio/ — the listener subsystem is the one place the wire
+/// is allowed to touch the hot path, and its receive loop is the very
+/// thing the rule protects the rest of the pipeline from.
 void rule_hot_path_blocking(const LexedFile& f, Sink& sink) {
   if (f.hot_regions.empty()) return;
   static const std::set<std::string> kBlocking = {
@@ -409,6 +426,13 @@ void rule_hot_path_blocking(const LexedFile& f, Sink& sink) {
       "wait_until",     "future",
       "promise",
   };
+  static const std::set<std::string> kSocketSyscalls = {
+      "recv",     "recvfrom", "recvmsg",  "recvmmsg",
+      "send",     "sendto",   "sendmsg",  "sendmmsg",
+      "poll",     "ppoll",    "select",   "epoll_wait",
+      "accept",   "connect",
+  };
+  const bool netio = starts_with(f.rel_path, "src/netio/");
   for (const HotRegion& region : f.hot_regions) {
     if (region.begin_line == 0) {
       add(sink, f, region.end_line, "scrubber-hot-path-blocking",
@@ -424,11 +448,17 @@ void rule_hot_path_blocking(const LexedFile& f, Sink& sink) {
       if (token.line <= region.begin_line || token.line >= region.end_line) {
         continue;
       }
-      if (token.is_identifier && kBlocking.count(token.text) > 0) {
+      if (!token.is_identifier) continue;
+      if (kBlocking.count(token.text) > 0) {
         add(sink, f, token.line, "scrubber-hot-path-blocking",
             "`" + token.text +
                 "` inside a scrubber-hot region — ring push/pop paths must "
                 "stay lock-free (spin/yield only)");
+      } else if (!netio && kSocketSyscalls.count(token.text) > 0) {
+        add(sink, f, token.line, "scrubber-hot-path-blocking",
+            "socket syscall `" + token.text +
+                "` inside a scrubber-hot region — only src/netio/ touches "
+                "the wire; hand bytes off through the input ring");
       }
     }
   }
@@ -524,8 +554,10 @@ void rule_raw_rand(const LexedFile& f, Sink& sink) {
 
 /// scrubber-raw-thread: naming std::thread/std::jthread (construction or
 /// member containers of them) is only allowed in src/util/thread_pool.hpp
-/// (the pool that owns learning-plane workers) and src/runtime/ (the
-/// serving path owns its shard threads) — everything else fans work out
+/// (the pool that owns learning-plane workers), src/runtime/ (the serving
+/// path owns its shard threads) and src/netio/ (the listener and load
+/// generator own their socket threads — pooling a thread that blocks in
+/// recvmmsg would poison the pool) — everything else fans work out
 /// through util::training_pool(), which is what keeps learning-plane
 /// results bit-identical for any thread count. Static member access
 /// (std::thread::hardware_concurrency) is fine anywhere: it reads the
@@ -533,6 +565,7 @@ void rule_raw_rand(const LexedFile& f, Sink& sink) {
 void rule_raw_thread(const LexedFile& f, Sink& sink) {
   if (f.rel_path == "src/util/thread_pool.hpp") return;
   if (starts_with(f.rel_path, "src/runtime/")) return;
+  if (starts_with(f.rel_path, "src/netio/")) return;
   const auto& t = f.tokens;
   for (std::size_t i = 3; i < t.size(); ++i) {
     if (!t[i].is_identifier ||
@@ -547,9 +580,9 @@ void rule_raw_thread(const LexedFile& f, Sink& sink) {
     if (static_member_access) continue;
     add(sink, f, t[i].line, "scrubber-raw-thread",
         "`std::" + t[i].text +
-            "` outside src/util/thread_pool.hpp and src/runtime/ — fan "
-            "work out through util::training_pool() so results stay "
-            "bit-identical for any thread count");
+            "` outside src/util/thread_pool.hpp, src/runtime/ and "
+            "src/netio/ — fan work out through util::training_pool() so "
+            "results stay bit-identical for any thread count");
   }
 }
 
