@@ -205,6 +205,7 @@ AggregatedDataset Aggregator::aggregate(std::span<const net::FlowRecord> flows,
       for (std::size_t c = 0; c < kCategoricals.size(); ++c) {
         GroupMetrics& cell =
             *scratch.tallies[c]
+                 // NOLINTNEXTLINE(scrubber-transitive): amortized — clear() keeps FlatHash capacity across groups, so growth happens only on each worker's first groups, not at steady state
                  .try_emplace(categorical_value(flow, kCategoricals[c]))
                  .first;
         cell.bytes += flow.bytes;

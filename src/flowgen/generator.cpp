@@ -439,6 +439,7 @@ void TrafficGenerator::generate_stream(std::uint32_t start_minute,
                                        std::uint32_t minutes, Labeling labeling,
                                        const MinuteSink& sink,
                                        unsigned threads) {
+  // scrubber-deterministic-begin
   schedule_control_plane(start_minute, minutes);
 
   if (threads <= 1 || minutes <= 1) {
@@ -524,6 +525,7 @@ void TrafficGenerator::generate_stream(std::uint32_t start_minute,
   }
   for (auto& worker : workers) worker.join();
   if (error) std::rethrow_exception(error);
+  // scrubber-deterministic-end
 }
 
 GeneratedTrace TrafficGenerator::generate(std::uint32_t start_minute,

@@ -162,6 +162,7 @@ class TreeBuilder {
 };
 
 void DecisionTree::fit(const Dataset& data) {
+  // scrubber-deterministic-begin
   nodes_.clear();
   if (data.n_rows() == 0) {
     nodes_.push_back(Node{});
@@ -172,6 +173,7 @@ void DecisionTree::fit(const Dataset& data) {
   builder.build();
   if (params_.ccp_alpha > 0.0) prune_ccp();
   compiled_ = CompiledTree::compile(nodes_);
+  // scrubber-deterministic-end
 }
 
 void DecisionTree::prune_ccp() {

@@ -91,6 +91,7 @@ struct SplitChoice {
 }  // namespace
 
 void GradientBoostedTrees::fit(const Dataset& data) {
+  // scrubber-deterministic-begin
   trees_.clear();
   importance_.assign(data.n_cols(), FeatureGain{});
   for (std::size_t j = 0; j < data.n_cols(); ++j) importance_[j].feature = j;
@@ -266,6 +267,7 @@ void GradientBoostedTrees::fit(const Dataset& data) {
     trees_.push_back(std::move(tree));
   }
   compiled_ = CompiledForest::compile(trees_, base_margin_);
+  // scrubber-deterministic-end
 }
 
 double GradientBoostedTrees::margin(std::span<const double> row) const {

@@ -258,6 +258,7 @@ void ShardedCollector::shard_worker(std::size_t index) {
 }
 
 void ShardedCollector::merge_worker() {
+  // scrubber-deterministic-begin
   const std::size_t n = shards_.size();
   std::vector<std::uint32_t> horizon(n, 0);
   // Minute -> concatenated shard flows, kept sorted by minute. The live
@@ -303,6 +304,7 @@ void ShardedCollector::merge_worker() {
 
   MergeMessage message;
   while (merge_queue_.pop(message)) {
+    // NOLINTNEXTLINE(scrubber-deterministic): busy-time telemetry only — the clock value never reaches the merged output
     const std::uint64_t begin = now_ns();
     if (message.kind == MergeMessage::Kind::kBatch) {
       merge_.add_in(1);
@@ -338,12 +340,15 @@ void ShardedCollector::merge_worker() {
       last_barrier = barrier;
 #endif
       if (barrier == kClosedForever) {
+        // NOLINTNEXTLINE(scrubber-deterministic): busy-time telemetry only — the clock value never reaches the merged output
         merge_.add_busy_ns(now_ns() - begin);
         return;  // every shard flushed and finished
       }
     }
+    // NOLINTNEXTLINE(scrubber-deterministic): busy-time telemetry only — the clock value never reaches the merged output
     merge_.add_busy_ns(now_ns() - begin);
   }
+  // scrubber-deterministic-end
 }
 
 }  // namespace scrubber::runtime

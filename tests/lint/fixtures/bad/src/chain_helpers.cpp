@@ -1,0 +1,15 @@
+// Fixture: cross-TU helpers for the transitive hot-path chain. The hot
+// caller lives in runtime/hot_chain.cpp two hops away; the sins live here,
+// in a file with no hot region of its own.
+#include <poll.h>
+
+namespace fixture {
+
+int* chain_helper_b(int n) {
+  poll(nullptr, 0, n);  // blocking syscall, surfaced only through the chain
+  return new int[8];    // EXPECT-LINT: scrubber-naked-new
+}
+
+int* chain_helper_a(int n) { return chain_helper_b(n); }
+
+}  // namespace fixture

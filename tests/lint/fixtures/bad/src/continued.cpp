@@ -1,0 +1,17 @@
+// Fixture: lexer — backslash-newline continuations extend line comments
+// and preprocessor directives over the next physical lines; the spliced
+// text is not code and must produce no diagnostics.
+#include <cstdlib>
+
+namespace fixture {
+
+// this comment swallows the next physical line via the trailing splice \
+rand(); volatile int hidden = 0;
+
+#define NOISE_SOURCE() \
+  rand() +             \
+  drand48()
+
+int sample() { return rand(); }  // EXPECT-LINT: scrubber-raw-rand
+
+}  // namespace fixture

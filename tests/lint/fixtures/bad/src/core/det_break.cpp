@@ -1,0 +1,25 @@
+// Fixture: scrubber-deterministic — direct determinism breaks inside the
+// region (unordered container, unseeded randomness, address-dependent
+// ordering) plus a clock read hidden one call away in the same TU.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t wall_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t merge_tallies() {
+  // scrubber-deterministic-begin
+  std::unordered_map<int, int> tally;  // EXPECT-LINT: scrubber-deterministic
+  tally[rand() % 8] = 1;  // EXPECT-LINT: scrubber-raw-rand, scrubber-deterministic
+  const auto cookie = reinterpret_cast<std::uintptr_t>(&tally);  // EXPECT-LINT: scrubber-deterministic
+  return cookie + wall_nanos();  // EXPECT-LINT: scrubber-deterministic
+  // scrubber-deterministic-end
+}
+
+}  // namespace fixture

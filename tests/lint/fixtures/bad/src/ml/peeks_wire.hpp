@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: scrubber-layering — the ml module must not reach into netio;
+// the declared DAG allows ml -> { ml, net, util } only.
+
+#include "netio/udp.hpp"  // EXPECT-LINT: scrubber-layering
+
+namespace fixture {
+
+inline int deep_peek() { return 7; }
+
+}  // namespace fixture

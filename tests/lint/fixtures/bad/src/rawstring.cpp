@@ -1,0 +1,16 @@
+// Fixture: lexer — raw string literals are opaque payload. Banned
+// identifiers, quotes and parens inside them must produce no tokens and no
+// diagnostics; only the real call at the bottom fires.
+#include <cstdlib>
+
+namespace fixture {
+
+const char* kPlain = R"(rand() volatile std::regex new int[3])";
+const char* kDelim = R"x(a quote " then )" still inside the literal)x";
+const char8_t* kUtf = u8R"(srand(7) drand48() random_device)";
+const wchar_t* kWide = LR"(time( clock( std::unordered_map<int, int>)";
+const char16_t* kU16 = uR"(std::thread worker([] { rand(); });)";
+
+int noise() { return rand(); }  // EXPECT-LINT: scrubber-raw-rand
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: unmatched deterministic-region markers are violations at the
+// marker line, same contract as the hot-region markers.
+
+namespace fixture {
+
+inline int merge_quietly() { return 0; }
+
+/* EXPECT-LINT: scrubber-deterministic */  // scrubber-deterministic-end
+
+inline int also_merge() { return 1; }
+
+/* EXPECT-LINT: scrubber-deterministic */  // scrubber-deterministic-begin
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: scrubber-transitive — the hot region itself is spotless; the
+// allocation and the blocking syscall are two calls away in another TU
+// (chain_helpers.cpp). The diagnostic must land on the root call site.
+
+namespace fixture {
+
+int* chain_helper_a(int n);
+
+struct ChainedProducer {
+  int* publish(int n) {
+    // scrubber-hot-begin
+    int* slot = chain_helper_a(n);  // EXPECT-LINT: scrubber-transitive
+    // scrubber-hot-end
+    return slot;
+  }
+};
+
+}  // namespace fixture

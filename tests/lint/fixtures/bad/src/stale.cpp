@@ -1,0 +1,8 @@
+// Fixture: scrubber-stale-nolint — a justified suppression whose violation
+// is long gone must itself be flagged at the marker line.
+
+namespace fixture {
+
+int quiet() { return 3; }  // NOLINT(scrubber-raw-rand): the dice roll moved to util::Rng EXPECT-LINT: scrubber-stale-nolint
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the clean mirror of bad/src/chain_helpers.cpp — the whole
+// cross-TU chain stays allocation-free (fixed arena, no syscalls), except
+// for flush_stats, whose growth the hot caller suppresses with a reason.
+#include <vector>
+
+namespace fixture {
+
+constexpr int kSlots = 64;
+int g_arena[kSlots];
+int g_used = 0;
+std::vector<int> g_stats;
+
+int* chain_helper_b(int n) {
+  if (g_used + n > kSlots) return nullptr;
+  int* slot = g_arena + g_used;
+  g_used += n;
+  return slot;
+}
+
+int* chain_helper_a(int n) { return chain_helper_b(n); }
+
+void flush_stats() { g_stats.push_back(g_used); }
+
+}  // namespace fixture

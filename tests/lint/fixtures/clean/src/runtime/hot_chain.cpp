@@ -1,0 +1,21 @@
+// Fixture: the clean mirror of bad/src/runtime/hot_chain.cpp — same call
+// shape, but the helpers hand out arena slots, and the one genuinely
+// allocating callee is suppressed at the call site with a justification.
+
+namespace fixture {
+
+int* chain_helper_a(int n);
+void flush_stats();
+
+struct ChainedProducer {
+  int* publish(int n) {
+    // scrubber-hot-begin
+    int* slot = chain_helper_a(n);
+    // NOLINTNEXTLINE(scrubber-transitive): stats growth is amortized — the vector is reserved during warm-up
+    flush_stats();
+    // scrubber-hot-end
+    return slot;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: layering — runtime depending on core follows the declared DAG
+// (runtime -> { runtime, core, net, bgp, util }); no diagnostic.
+
+#include "core/tables.hpp"
+
+namespace fixture {
+
+inline int layered_ok() { return 1; }
+
+}  // namespace fixture

@@ -137,7 +137,9 @@ TEST(ScrubberLint, ListRulesNamesEveryRule) {
         "scrubber-raw-rand",
         "scrubber-raw-thread", "scrubber-float-counter",
         "scrubber-naked-new", "scrubber-include-guard",
-        "scrubber-banned-construct", "scrubber-nolint-needs-reason"}) {
+        "scrubber-banned-construct", "scrubber-nolint-needs-reason",
+        "scrubber-transitive", "scrubber-deterministic",
+        "scrubber-layering", "scrubber-stale-nolint"}) {
     EXPECT_TRUE(rules.count(rule) > 0) << "missing rule id: " << rule;
   }
 }

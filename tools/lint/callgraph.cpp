@@ -1,0 +1,497 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "lint/rules.hpp"
+
+namespace scrubber::lint {
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Names that are std/container/atomic vocabulary: an edge to a project
+/// function of the same name would almost always be misattribution
+/// (`slots_.size()` is not `MpscQueue::size`). The banned ones among them
+/// still surface as primitives in whatever body spells them.
+const std::set<std::string>& veto_set() {
+  static const std::set<std::string> kVeto = {
+      // containers / strings
+      "size", "length", "empty", "capacity", "clear", "begin", "end",
+      "cbegin", "cend", "rbegin", "rend", "front", "back", "data", "at",
+      "find", "count", "contains", "erase", "insert", "push_back",
+      "pop_back", "push_front", "pop_front", "emplace", "emplace_back",
+      "emplace_front", "emplace_hint", "resize", "reserve",
+      "shrink_to_fit", "assign", "append", "substr", "compare", "c_str",
+      "str", "lower_bound", "upper_bound", "equal_range", "first",
+      "second", "swap", "fill", "top",
+      // atomics
+      "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or", "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong",
+      // synchronization / threads
+      "wait", "wait_for", "wait_until", "notify_one", "notify_all",
+      "lock", "unlock", "try_lock", "join", "joinable", "detach",
+      "hardware_concurrency", "sleep_for", "sleep_until",
+      // smart pointers / optional / variant
+      "get", "reset", "release", "value", "value_or", "has_value",
+      "index", "visit",
+      // <algorithm> / <utility> / <cmath>
+      "min", "max", "clamp", "abs", "move", "forward", "sort",
+      "stable_sort", "copy", "copy_n", "accumulate", "transform",
+      "make_unique", "make_shared", "make_pair", "make_tuple", "tie",
+      "distance", "advance", "next", "prev",
+      // libc / stdio / posix
+      "memcpy", "memmove", "memset", "strlen", "strcmp", "strncmp",
+      "snprintf", "printf", "fprintf", "sprintf", "sscanf", "malloc",
+      "calloc", "realloc", "free", "open", "close", "read", "write",
+      "flush", "exit",
+      // strings / conversion
+      "to_string", "stoi", "stol", "stoul", "stoull", "stod",
+      "from_chars", "to_chars", "getline",
+      // streams
+      "good", "fail", "eof", "is_open", "rdbuf", "setw", "precision",
+  };
+  return kVeto;
+}
+
+const std::set<std::string>& alloc_set() {
+  static const std::set<std::string> kAlloc = {
+      "new",           "make_unique",  "make_shared", "malloc",
+      "calloc",        "realloc",      "aligned_alloc", "strdup",
+      "push_back",     "emplace_back", "emplace",     "resize",
+      "reserve",       "insert",       "append",      "assign",
+  };
+  return kAlloc;
+}
+
+const std::set<std::string>& blocking_set() {
+  static const std::set<std::string> kBlocking = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "shared_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any",
+      "sleep_for",      "sleep_until",
+      "wait",           "wait_for",
+      "wait_until",     "future",
+      "promise",
+  };
+  return kBlocking;
+}
+
+const std::set<std::string>& socket_set() {
+  static const std::set<std::string> kSocket = {
+      "recv",     "recvfrom", "recvmsg",  "recvmmsg",
+      "send",     "sendto",   "sendmsg",  "sendmmsg",
+      "poll",     "ppoll",    "select",   "epoll_wait",
+      "accept",   "connect",
+  };
+  return kSocket;
+}
+
+const std::set<std::string>& node_container_set() {
+  static const std::set<std::string> kNode = {
+      "map", "multimap", "unordered_map", "unordered_multimap",
+      "unordered_set", "unordered_multiset",
+  };
+  return kNode;
+}
+
+const std::set<std::string>& unordered_set_names() {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_multimap", "unordered_set",
+      "unordered_multiset",
+  };
+  return kUnordered;
+}
+
+const std::set<std::string>& det_rand_set() {
+  static const std::set<std::string> kRand = {
+      "rand", "srand", "rand_r", "drand48", "random_device",
+  };
+  return kRand;
+}
+
+const std::set<std::string>& det_clock_set() {
+  static const std::set<std::string> kClock = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday",
+  };
+  return kClock;
+}
+
+/// True for a hot-file path where scrubber-hot-path-container already
+/// bans node containers file-wide (the transitive pass must not double
+/// report them).
+bool container_banned_file(const std::string& rel_path) {
+  return starts_with(rel_path, "src/net/packet.") ||
+         starts_with(rel_path, "src/core/aggregator.");
+}
+
+}  // namespace
+
+bool is_hot_category(Category category) {
+  switch (category) {
+    case Category::Alloc:
+    case Category::Blocking:
+    case Category::Socket:
+    case Category::Container:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_det_category(Category category) { return !is_hot_category(category); }
+
+const char* category_label(Category category) {
+  switch (category) {
+    case Category::Alloc:
+      return "heap allocation";
+    case Category::Blocking:
+      return "blocking synchronization";
+    case Category::Socket:
+      return "socket syscall";
+    case Category::Container:
+      return "node-based container";
+    case Category::DetRand:
+      return "unseeded randomness";
+    case Category::DetClock:
+      return "clock read";
+    case Category::DetUnordered:
+      return "unordered-container use";
+    case Category::DetAddr:
+      return "address-dependent ordering";
+  }
+  return "banned construct";
+}
+
+void collect_primitives(const LexedFile& file, std::size_t begin,
+                        std::size_t end, std::vector<Primitive>& out) {
+  const auto& t = file.tokens;
+  end = std::min(end, t.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!t[i].is_identifier) continue;
+    const std::string& s = t[i].text;
+    const bool member_access =
+        (i >= 1 && t[i - 1].text == ".") ||
+        (i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-");
+    const bool std_qualified = i >= 3 && t[i - 3].text == "std" &&
+                               t[i - 2].text == ":" && t[i - 1].text == ":";
+    if (node_container_set().count(s) > 0) {
+      // Only the std::-qualified spelling, exactly like the direct rule:
+      // `map` alone is too common a name to match bare.
+      if (std_qualified) {
+        out.push_back(Primitive{Category::Container, s, t[i].line});
+        if (unordered_set_names().count(s) > 0) {
+          out.push_back(Primitive{Category::DetUnordered, s, t[i].line});
+        }
+      }
+      continue;
+    }
+    if (alloc_set().count(s) > 0) {
+      out.push_back(Primitive{Category::Alloc, s, t[i].line});
+      // fall through intentionally avoided: alloc names never collide
+      // with the remaining sets
+      continue;
+    }
+    if (blocking_set().count(s) > 0) {
+      out.push_back(Primitive{Category::Blocking, s, t[i].line});
+      continue;
+    }
+    if (socket_set().count(s) > 0) {
+      out.push_back(Primitive{Category::Socket, s, t[i].line});
+      continue;
+    }
+    if (det_rand_set().count(s) > 0) {
+      out.push_back(Primitive{Category::DetRand, s, t[i].line});
+      continue;
+    }
+    if (det_clock_set().count(s) > 0) {
+      out.push_back(Primitive{Category::DetClock, s, t[i].line});
+      continue;
+    }
+    if ((s == "time" || s == "clock") && !member_access &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      out.push_back(Primitive{Category::DetClock, s, t[i].line});
+      continue;
+    }
+    if (s == "uintptr_t" || s == "intptr_t") {
+      out.push_back(Primitive{Category::DetAddr, s, t[i].line});
+      continue;
+    }
+  }
+}
+
+CallGraph build_call_graph(const ProjectIndex& index) {
+  CallGraph graph;
+  graph.call_targets.resize(index.calls.size());
+  graph.calls_of.resize(index.functions.size());
+  for (std::uint32_t c = 0; c < index.calls.size(); ++c) {
+    const CallSite& call = index.calls[c];
+    if (call.caller >= 0) {
+      graph.calls_of[static_cast<std::size_t>(call.caller)].push_back(c);
+    }
+    if (veto_set().count(call.name) > 0 || call.qualifier == "std") {
+      ++graph.vetoed_calls;
+      continue;
+    }
+    const auto it = index.functions_by_name.find(call.name);
+    if (it == index.functions_by_name.end()) {
+      ++graph.unresolved_calls;
+      continue;
+    }
+    std::vector<std::uint32_t> candidates = it->second;
+    if (!call.qualifier.empty() && call.qualifier != "scrubber") {
+      std::vector<std::uint32_t> filtered;
+      for (const std::uint32_t fi : candidates) {
+        const FunctionDef& def = index.functions[fi];
+        if (def.class_name == call.qualifier ||
+            def.qualified.find(call.qualifier + "::") != std::string::npos) {
+          filtered.push_back(fi);
+        }
+      }
+      if (!filtered.empty()) candidates = std::move(filtered);
+    }
+    if (call.has_receiver) {
+      std::vector<std::uint32_t> members;
+      std::set<std::string> classes;
+      for (const std::uint32_t fi : candidates) {
+        const FunctionDef& def = index.functions[fi];
+        if (def.class_name.empty()) continue;
+        members.push_back(fi);
+        classes.insert(def.class_name);
+      }
+      if (members.empty()) {
+        ++graph.unresolved_calls;
+        continue;
+      }
+      if (classes.size() > 1) {
+        ++graph.ambiguous_calls;  // skipped, not guessed
+        continue;
+      }
+      candidates = std::move(members);
+    } else {
+      std::string enclosing;
+      if (call.caller >= 0) {
+        enclosing =
+            index.functions[static_cast<std::size_t>(call.caller)].class_name;
+      }
+      std::vector<std::uint32_t> same_class;
+      std::vector<std::uint32_t> free_fns;
+      std::vector<std::uint32_t> members;
+      std::set<std::string> classes;
+      for (const std::uint32_t fi : candidates) {
+        const FunctionDef& def = index.functions[fi];
+        if (def.class_name.empty()) {
+          free_fns.push_back(fi);
+        } else {
+          members.push_back(fi);
+          classes.insert(def.class_name);
+          if (!enclosing.empty() && def.class_name == enclosing) {
+            same_class.push_back(fi);
+          }
+        }
+      }
+      if (!same_class.empty()) {
+        candidates = std::move(same_class);
+      } else if (!free_fns.empty()) {
+        // Same-TU free functions win for unqualified calls: per-file
+        // anonymous-namespace helpers (`now_ns` and friends) otherwise
+        // resolve to every same-named twin in the tree.
+        if (call.qualifier.empty()) {
+          std::vector<std::uint32_t> same_file;
+          for (const std::uint32_t fi : free_fns) {
+            if (index.functions[fi].file == call.file) same_file.push_back(fi);
+          }
+          if (!same_file.empty()) free_fns = std::move(same_file);
+        }
+        candidates = std::move(free_fns);
+      } else if (classes.size() == 1) {
+        candidates = std::move(members);
+      } else {
+        ++graph.ambiguous_calls;
+        continue;
+      }
+    }
+    graph.resolved_edges += candidates.size();
+    graph.call_targets[c] = std::move(candidates);
+  }
+  return graph;
+}
+
+namespace {
+
+struct WalkItem {
+  std::uint32_t func;
+  int depth;
+  std::string chain;  ///< " → "-joined call names from the root
+};
+
+/// Lazily computed per-function primitive cache.
+class PrimitiveCache {
+ public:
+  explicit PrimitiveCache(const ProjectIndex& index) : index_(index) {
+    done_.resize(index.functions.size(), false);
+    cache_.resize(index.functions.size());
+  }
+  const std::vector<Primitive>& of(std::uint32_t func) {
+    if (!done_[func]) {
+      const FunctionDef& def = index_.functions[func];
+      collect_primitives(index_.files[def.file].lexed, def.body_begin,
+                         def.body_end, cache_[func]);
+      done_[func] = true;
+    }
+    return cache_[func];
+  }
+
+ private:
+  const ProjectIndex& index_;
+  std::vector<char> done_;
+  std::vector<std::vector<Primitive>> cache_;
+};
+
+void walk_from_root(const ProjectIndex& index, const CallGraph& graph,
+                    const TransitiveOptions& options, std::uint32_t root_call,
+                    bool det, PrimitiveCache& primitives, Sink& sink,
+                    UsedSuppressions& used) {
+  const CallSite& root = index.calls[root_call];
+  const IndexedFile& root_file = index.files[root.file];
+  const char* rule = det ? "scrubber-deterministic" : "scrubber-transitive";
+  const bool netio_root = starts_with(root_file.lexed.rel_path, "src/netio/");
+
+  std::set<std::uint32_t> visited;
+  std::set<Category> emitted;
+  std::deque<WalkItem> queue;
+  for (const std::uint32_t target : graph.call_targets[root_call]) {
+    if (visited.insert(target).second) {
+      queue.push_back(WalkItem{target, 1, root.name});
+    }
+  }
+  while (!queue.empty()) {
+    const WalkItem item = queue.front();
+    queue.pop_front();
+    const FunctionDef& def = index.functions[item.func];
+    const IndexedFile& def_file = index.files[def.file];
+    for (const Primitive& primitive : primitives.of(item.func)) {
+      if (det != is_det_category(primitive.category)) continue;
+      // Primitives the direct rules (or a file-wide exemption) already
+      // own are not re-reported through the chain.
+      const auto& regions =
+          det ? def_file.lexed.det_regions : def_file.lexed.hot_regions;
+      if (line_in_region(regions, primitive.line)) continue;
+      if (primitive.category == Category::Container &&
+          container_banned_file(def_file.lexed.rel_path)) {
+        continue;
+      }
+      if (primitive.category == Category::Socket && netio_root) continue;
+      if (primitive.category == Category::DetRand &&
+          starts_with(def_file.lexed.rel_path, "src/util/rng")) {
+        continue;
+      }
+      if (!emitted.insert(primitive.category).second) continue;
+      const std::string region_name =
+          det ? "scrubber-deterministic" : "scrubber-hot";
+      const std::string fix_hint =
+          det ? "deterministic regions must stay reproducible through every "
+                "call chain"
+              : "hot regions must stay clean through every call chain";
+      sink.push_back(Diagnostic{
+          root_file.lexed.rel_path, root.line, rule,
+          "call chain " + item.chain + " reaches `" + primitive.token +
+              "` (" + category_label(primitive.category) + ") at " +
+              def_file.lexed.rel_path + ":" +
+              std::to_string(primitive.line) + " from a " + region_name +
+              " region — " + fix_hint +
+              " (suppress at this call site with `// NOLINT(" + rule +
+              "): reason` if justified)"});
+    }
+    if (item.depth >= options.max_depth) continue;
+    for (const std::uint32_t next_call : graph.calls_of[item.func]) {
+      const CallSite& call = index.calls[next_call];
+      if (def_file.suppressions.covers(call.line, rule)) {
+        used.insert({call.file, call.line, rule});
+        continue;
+      }
+      for (const std::uint32_t target : graph.call_targets[next_call]) {
+        if (visited.insert(target).second) {
+          queue.push_back(
+              WalkItem{target, item.depth + 1, item.chain + " → " + call.name});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_transitive(const ProjectIndex& index, const CallGraph& graph,
+                      const TransitiveOptions& options, Sink& sink,
+                      UsedSuppressions& used) {
+  PrimitiveCache primitives(index);
+  for (std::uint32_t c = 0; c < index.calls.size(); ++c) {
+    if (graph.call_targets[c].empty()) continue;
+    const CallSite& call = index.calls[c];
+    const LexedFile& lexed = index.files[call.file].lexed;
+    if (line_in_region(lexed.hot_regions, call.line)) {
+      walk_from_root(index, graph, options, c, /*det=*/false, primitives,
+                     sink, used);
+    }
+    if (line_in_region(lexed.det_regions, call.line)) {
+      walk_from_root(index, graph, options, c, /*det=*/true, primitives,
+                     sink, used);
+    }
+  }
+}
+
+void dot_dump(const ProjectIndex& index, const CallGraph& graph,
+              std::ostream& out) {
+  const auto escape = [](const std::string& s) {
+    std::string escaped;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  };
+  out << "digraph scrubber_lint {\n";
+  out << "  rankdir=LR;\n";
+  out << "  subgraph cluster_module_dag {\n"
+      << "    label=\"declared module DAG\";\n"
+      << "    node [shape=folder];\n";
+  for (const auto& [module, allowed] : module_dag()) {
+    out << "    \"mod:" << escape(module) << "\" [label=\"" << escape(module)
+        << "\"];\n";
+    for (const std::string& dep : allowed) {
+      if (dep == module) continue;
+      out << "    \"mod:" << escape(module) << "\" -> \"mod:" << escape(dep)
+          << "\";\n";
+    }
+  }
+  out << "  }\n";
+  out << "  node [shape=box];\n";
+  for (std::uint32_t fi = 0; fi < index.functions.size(); ++fi) {
+    const FunctionDef& def = index.functions[fi];
+    out << "  \"fn:" << fi << "\" [label=\"" << escape(def.qualified)
+        << "\\n" << escape(index.files[def.file].lexed.rel_path) << ":"
+        << def.name_line << "\"];\n";
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> printed;
+  for (std::uint32_t c = 0; c < index.calls.size(); ++c) {
+    const CallSite& call = index.calls[c];
+    if (call.caller < 0) continue;
+    for (const std::uint32_t target : graph.call_targets[c]) {
+      if (printed.insert({static_cast<std::uint32_t>(call.caller), target})
+              .second) {
+        out << "  \"fn:" << call.caller << "\" -> \"fn:" << target << "\";\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace scrubber::lint

@@ -1,0 +1,89 @@
+#pragma once
+// Pass 2 of scrubber-lint: name-based call-graph construction and
+// transitive taint propagation. A call site inside a `scrubber-hot` or
+// `scrubber-deterministic` region roots a bounded-depth walk; any banned
+// primitive reachable through the chain is reported at the *root call
+// site* (that is the line the author can fix or justify).
+//
+// Resolution is deliberately conservative:
+//   - a vocabulary veto list drops edges to std-colliding names (`size`,
+//     `lock`, `push_back`, ...) — those show up as *primitives* in callee
+//     bodies instead, so nothing is lost, only misattribution
+//   - receiver calls (`x.f()`) resolve to member functions only, and are
+//     skipped (counted, not guessed) when the name is defined in more
+//     than one class
+//   - receiverless calls prefer the enclosing class, then free functions,
+//     then a unique member class; several defs of one name in the chosen
+//     bucket become edges to all of them (overload-set fallback)
+
+#include <optional>
+#include <ostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace scrubber::lint {
+
+enum class Category {
+  Alloc,         ///< hot: heap allocation / growing containers
+  Blocking,      ///< hot: locks, condvars, sleeps, futures
+  Socket,        ///< hot: socket syscalls (exempt for src/netio/ roots)
+  Container,     ///< hot: node-based std::map / std::unordered_*
+  DetRand,       ///< det: unseeded randomness
+  DetClock,      ///< det: wall/steady clock reads
+  DetUnordered,  ///< det: unordered-container use (iteration order)
+  DetAddr,       ///< det: uintptr_t/intptr_t address-dependent ordering
+};
+
+bool is_hot_category(Category category);
+bool is_det_category(Category category);
+const char* category_label(Category category);
+
+struct Primitive {
+  Category category;
+  std::string token;
+  int line = 0;
+};
+
+/// Scans the token range [begin, end) of `file` for banned primitives.
+/// One token can yield two entries (std::unordered_map is both a hot
+/// container and a determinism break).
+void collect_primitives(const LexedFile& file, std::size_t begin,
+                        std::size_t end, std::vector<Primitive>& out);
+
+struct CallGraph {
+  std::vector<std::vector<std::uint32_t>> call_targets;  ///< per CallSite
+  std::vector<std::vector<std::uint32_t>> calls_of;      ///< per FunctionDef
+  std::size_t resolved_edges = 0;
+  std::size_t unresolved_calls = 0;
+  std::size_t ambiguous_calls = 0;
+  std::size_t vetoed_calls = 0;
+};
+
+CallGraph build_call_graph(const ProjectIndex& index);
+
+/// (file index, NOLINT target line, rule) triples consumed while walking
+/// the graph — a suppressed edge is a *used* suppression even though no
+/// diagnostic survives to say so, and must not be reported as stale.
+using UsedSuppressions = std::set<std::tuple<std::uint32_t, int, std::string>>;
+
+struct TransitiveOptions {
+  int max_depth = 6;  ///< call-chain hops explored below a root site
+};
+
+/// Emits scrubber-transitive (hot roots) and scrubber-deterministic (det
+/// roots) diagnostics, one per root call site and category, with the
+/// shortest offending chain in the message.
+void check_transitive(const ProjectIndex& index, const CallGraph& graph,
+                      const TransitiveOptions& options, Sink& sink,
+                      UsedSuppressions& used);
+
+/// Graphviz dump of the resolved call graph plus the declared module DAG
+/// (`scrubber-lint --graph dot`).
+void dot_dump(const ProjectIndex& index, const CallGraph& graph,
+              std::ostream& out);
+
+}  // namespace scrubber::lint

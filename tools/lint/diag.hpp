@@ -1,0 +1,29 @@
+#pragma once
+// Shared diagnostic record for every scrubber-lint pass (lexical rules,
+// transitive call-graph checks, layering, stale-suppression detection).
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace scrubber::lint {
+
+struct Diagnostic {
+  std::string file;  ///< forward-slash path relative to the scan root
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    return std::tie(file, line, rule, message) <
+           std::tie(other.file, other.line, other.rule, other.message);
+  }
+  bool operator==(const Diagnostic& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+using Sink = std::vector<Diagnostic>;
+
+}  // namespace scrubber::lint

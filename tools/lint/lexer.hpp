@@ -1,0 +1,91 @@
+#pragma once
+// Pass 0 of scrubber-lint: a comment/string/char-literal aware token
+// scanner. Deliberately not a C++ front end — every downstream rule is
+// lexical or name-based by design so the linter stays dependency-free,
+// builds in a second, and never goes stale against compiler versions.
+//
+// Handled here (and regression-tested in tests/lint/fixtures):
+//   - raw string literals, including encoding prefixes (R"", LR"", uR"",
+//     UR"", u8R"") and d-char delimiters (R"x(...)x")
+//   - backslash-newline line continuations inside // comments and
+//     preprocessor directives (the spliced lines stay comment/directive)
+//   - digit separators (60'000 must not open a phantom char literal)
+//   - // scrubber-hot-begin/end and // scrubber-deterministic-begin/end
+//     region markers (the comment's entire content, so prose mentioning a
+//     marker opens nothing)
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diag.hpp"
+
+namespace scrubber::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_identifier = false;
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;  ///< first line of the comment
+};
+
+struct Directive {
+  std::string text;  ///< full preprocessor line(s), continuations included
+  int line = 0;
+};
+
+/// A marked region. begin_line == 0 means end-without-begin; end_line == 0
+/// means begin-without-end (both are diagnosed by the region rules).
+struct Region {
+  int begin_line = 0;
+  int end_line = 0;
+};
+
+/// One source file, lexed: code tokens with comments and strings stripped
+/// out, plus the comments and preprocessor directives kept on the side
+/// (NOLINT markers and include/guard checks need them).
+struct LexedFile {
+  std::string rel_path;  ///< forward-slash path relative to the scan root
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  std::vector<Region> hot_regions;  ///< scrubber-hot-begin/end
+  std::vector<Region> det_regions;  ///< scrubber-deterministic-begin/end
+  int last_line = 1;
+};
+
+LexedFile lex(const std::string& rel_path, const std::string& text);
+
+/// True when `line` falls strictly inside a balanced region.
+bool line_in_region(const std::vector<Region>& regions, int line);
+
+/// One justified scrubber-* NOLINT marker: which rules it suppresses and
+/// on which line. Tracked individually so the stale pass can report
+/// suppressions that no longer fire.
+struct SuppressionSite {
+  int comment_line = 0;
+  int target_line = 0;  ///< comment_line, or +1 for NOLINTNEXTLINE
+  std::set<std::string> rules;
+};
+
+/// NOLINT bookkeeping: which scrubber-* rules are suppressed on which
+/// lines, and which NOLINT markers are missing their justification.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> malformed;
+  std::vector<SuppressionSite> sites;
+
+  [[nodiscard]] bool covers(int line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions parse_suppressions(const LexedFile& file);
+
+}  // namespace scrubber::lint

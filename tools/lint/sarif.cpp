@@ -1,0 +1,94 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "lint/rules.hpp"
+
+namespace scrubber::lint {
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+/// Everything else (UTF-8 included) passes through verbatim.
+std::string escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sarif(const Sink& diagnostics, std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"scrubber-lint\",\n"
+      << "          \"rules\": [\n";
+  const auto& rules = all_rule_ids();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << escaped(rules[i]) << "\"}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << escaped(d.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << escaped(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << escaped(d.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << d.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace scrubber::lint

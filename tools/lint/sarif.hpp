@@ -1,0 +1,17 @@
+#pragma once
+// Minimal SARIF 2.1.0 emitter for CI annotation (--sarif out.sarif).
+// Hand-rolled JSON on purpose: the linter stays dependency-free and the
+// document shape is fixed.
+
+#include <ostream>
+
+#include "lint/diag.hpp"
+
+namespace scrubber::lint {
+
+/// Writes the diagnostics as one SARIF run. `diagnostics` is expected
+/// sorted (the driver sorts before printing); rule metadata is derived
+/// from all_rule_ids().
+void write_sarif(const Sink& diagnostics, std::ostream& out);
+
+}  // namespace scrubber::lint
