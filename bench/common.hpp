@@ -19,6 +19,7 @@
 #include "flowgen/generator.hpp"
 #include "ml/metrics.hpp"
 #include "util/json.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -69,6 +70,15 @@ inline void set_provenance(util::Json& out) {
   out.set("kernel", ::uname(&kernel) == 0
                         ? std::string(kernel.sysname) + " " + kernel.release
                         : "unknown");
+  // CPU/SIMD provenance: inference numbers from a scalar-dispatch run
+  // (old CPU, or a SCRUBBER_AVX2=OFF build) must never be compared
+  // against vector-kernel rows, and trajectory tooling needs to see
+  // which case this was. cpu_* report the machine, simd_compiled_avx2
+  // the build, simd_level what actually dispatched.
+  out.set("cpu_avx2", util::cpu_has_avx2());
+  out.set("cpu_fma", util::cpu_has_fma());
+  out.set("simd_compiled_avx2", util::simd_compiled_avx2());
+  out.set("simd_level", util::simd_level_name(util::simd_level()));
 }
 #endif  // SCRUBBER_SOURCE_DIR
 

@@ -92,8 +92,10 @@ class Transformer {
   }
 
   /// Applies the fitted transform to every row of a dataset (handles
-  /// width-changing transforms).
-  [[nodiscard]] Dataset apply_to_dataset(const Dataset& data) const;
+  /// width-changing transforms). Virtual so column-strip encoders (WoE)
+  /// can batch the whole cell buffer; overrides must stay bit-identical
+  /// to the row-loop default.
+  [[nodiscard]] virtual Dataset apply_to_dataset(const Dataset& data) const;
 };
 
 }  // namespace scrubber::ml

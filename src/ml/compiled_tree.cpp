@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/dataset.hpp"
+#include "util/simd.hpp"
 
 namespace scrubber::ml {
 namespace {
@@ -59,7 +60,74 @@ void walk_block(const CompiledNode* nodes, std::uint32_t root,
 }
 // scrubber-hot-end
 
+/// Rows the AVX2 kernel should traverse for an out.size() == n batch, or 0
+/// to stay scalar. Padded assembly (rows holds ceil(n / kSimdLaneRows) full
+/// rows, Dataset::raw_padded) lets the kernel own the ragged tail; an
+/// unpadded span caps it at the last full lane group and the scalar oracle
+/// finishes rows [n_pad, n).
+[[nodiscard]] std::size_t simd_pad_rows(std::size_t rows_size,
+                                        std::size_t width,
+                                        std::size_t n) noexcept {
+  if (util::simd_level() != util::SimdLevel::kAvx2) return 0;
+  if (width == 0 || n < kSimdLaneRows) return 0;
+  const std::size_t padded =
+      (n + kSimdLaneRows - 1) / kSimdLaneRows * kSimdLaneRows;
+  if (rows_size / width >= padded) return padded;
+  return n & ~(kSimdLaneRows - 1);
+}
+
 }  // namespace
+
+namespace detail {
+
+void append_lane_tree(const std::vector<CompiledNode>& nodes,
+                      std::uint32_t root, std::size_t count, LaneTable& out) {
+  out.root.push_back(static_cast<std::int32_t>(root));
+  // BFS layout ⇒ parents precede children, so one forward pass assigns
+  // levels; the tree's max level is the lockstep descent count.
+  std::vector<std::int32_t> level(count, 0);
+  std::int32_t max_level = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const CompiledNode& node = nodes[root + i];
+    const auto self = static_cast<std::int32_t>(root + i);
+    out.threshold.push_back(node.is_leaf() ? 0.0 : node.threshold);
+    out.value.push_back(node.value);
+    out.feature.push_back(
+        node.is_leaf() ? 0 : static_cast<std::int32_t>(node.feature));
+    out.left.push_back(node.is_leaf() ? self : node.left);
+    out.right.push_back(node.is_leaf() ? self : node.right);
+    if (!node.is_leaf()) {
+      level[static_cast<std::size_t>(node.left) - root] = level[i] + 1;
+      level[static_cast<std::size_t>(node.right) - root] = level[i] + 1;
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+  out.depth.push_back(max_level);
+}
+
+}  // namespace detail
+
+void CompiledTree::build_lanes() {
+  lanes_ = detail::LaneTable{};
+  if (nodes_.empty()) return;
+  detail::append_lane_tree(nodes_, 0, nodes_.size(), lanes_);
+}
+
+void CompiledForest::build_lanes() {
+  lanes_ = detail::LaneTable{};
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const std::size_t end =
+        t + 1 < roots_.size() ? roots_[t + 1] : nodes_.size();
+    if (end == roots_[t]) {
+      // A tree with no nodes would walk out of the table (scalar and
+      // vector alike); leave the lane table empty so dispatch stays on
+      // the oracle path and the bug surfaces in one place.
+      lanes_ = detail::LaneTable{};
+      return;
+    }
+    detail::append_lane_tree(nodes_, roots_[t], end - roots_[t], lanes_);
+  }
+}
 
 double CompiledTree::predict(std::span<const double> row) const noexcept {
   if (nodes_.empty()) return 0.5;  // matches DecisionTree::score
@@ -74,8 +142,15 @@ void CompiledTree::predict_batch(std::span<const double> rows,
     std::fill(out.begin(), out.end(), 0.5);
     return;
   }
+  std::size_t done = 0;
+  if (const std::size_t n_pad = simd_pad_rows(rows.size(), width, n);
+      n_pad != 0 && !lanes_.empty()) {
+    done = std::min(n, n_pad);
+    detail::avx2_tree_predict(lanes_, rows.data(), width, done, n_pad,
+                              out.data());
+  }
   std::uint32_t cursor[kBlockRows];
-  for (std::size_t base = 0; base < n; base += kBlockRows) {
+  for (std::size_t base = done; base < n; base += kBlockRows) {
     const std::size_t m = std::min(kBlockRows, n - base);
     walk_block(nodes_.data(), 0, rows.data() + base * width, width, m, cursor);
     for (std::size_t j = 0; j < m; ++j) out[base + j] = nodes_[cursor[j]].value;
@@ -99,9 +174,17 @@ void CompiledForest::margin_batch(std::span<const double> rows,
                                   std::span<double> out) const noexcept {
   std::fill(out.begin(), out.end(), base_margin_);
   const std::size_t n = out.size();
+  std::size_t done = 0;
+  if (const std::size_t n_pad = simd_pad_rows(rows.size(), width, n);
+      n_pad != 0 && !lanes_.empty()) {
+    done = std::min(n, n_pad);
+    detail::avx2_forest_margin(lanes_, rows.data(), width, done, n_pad,
+                               out.data());
+  }
+  if (done == n) return;
   std::uint32_t cursor[kBlockRows];
   for (const std::uint32_t root : roots_) {
-    for (std::size_t base = 0; base < n; base += kBlockRows) {
+    for (std::size_t base = done; base < n; base += kBlockRows) {
       const std::size_t m = std::min(kBlockRows, n - base);
       walk_block(nodes_.data(), root, rows.data() + base * width, width, m,
                  cursor);

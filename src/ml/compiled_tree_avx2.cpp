@@ -1,0 +1,213 @@
+// AVX2 lane-table kernels for CompiledTree / CompiledForest.
+//
+// This TU and util/simd.hpp are the only files allowed to use x86 vector
+// intrinsics (scrubber-simd-isolation). Kernels carry
+// __attribute__((target("avx2"))) instead of a per-file -mavx2 so no
+// AVX2 codegen can leak into inline functions the linker might pick for
+// other TUs; dispatch (util::simd_level()) guarantees they only run on
+// machines whose cpuid reports AVX2.
+//
+// Bit-identity with the scalar oracle (compiled_tree.cpp) is argued op by
+// op — see DESIGN.md §13 for the full contract:
+//
+//   * feature load: masked gather with a -1.0 source, mask = unsigned
+//     `feature < width`, then an ordered-compare blend replacing NaN with
+//     -1.0 — exactly the scalar "missing or out-of-range reads as -1.0".
+//   * descent: _CMP_LE_OQ is IEEE `v <= threshold` (false on NaN, but NaN
+//     was already substituted), so the left/right blend picks the same
+//     child the scalar ternary does.
+//   * lockstep depth: leaves self-loop in the lane table, so running
+//     every lane exactly depth[tree] steps is a per-lane no-op past its
+//     leaf — the cursor lands where the scalar while-loop stops.
+//   * accumulate: _mm256_add_pd is four independent IEEE doubles adds; no
+//     FMA, no reassociation, same per-row order (base margin, then trees
+//     in table order) as the scalar path.
+
+#include "ml/compiled_tree.hpp"
+
+#if defined(SCRUBBER_AVX2) && SCRUBBER_AVX2 && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace scrubber::ml::detail {
+namespace {
+
+#define SCRUBBER_AVX2_FN \
+  __attribute__((target("avx2"), always_inline)) inline
+
+/// Four lockstep tree cursors: one lane group of rows descending one tree.
+struct Lane4 {
+  __m128i cur;     ///< absolute node indices into the lane table
+  const double* rows;  ///< first row of this lane group
+};
+
+/// Compresses the four 64-bit compare masks of `m` into four packed
+/// 32-bit lanes (all-ones / all-zeros), for blending the int32 cursors.
+SCRUBBER_AVX2_FN __m128i mask_to_epi32(__m256d m) noexcept {
+  const __m256i low_words = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(m), low_words));
+}
+
+// All-lanes gathers via the masked intrinsics with a full mask: the exact
+// same vgatherdpd/vpgatherdd instruction, but GCC's unmasked forms seed
+// the destination with _mm256_undefined_pd(), which -Wmaybe-uninitialized
+// (rightly) flags under -Werror.
+
+SCRUBBER_AVX2_FN __m256d gather_pd(const double* base, __m128i idx) noexcept {
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, idx,
+                                  _mm256_castsi256_pd(_mm256_set1_epi64x(-1)),
+                                  8);
+}
+
+SCRUBBER_AVX2_FN __m128i gather_epi32(const std::int32_t* base,
+                                      __m128i idx) noexcept {
+  return _mm_mask_i32gather_epi32(_mm_setzero_si128(), base, idx,
+                                  _mm_set1_epi32(-1), 4);
+}
+
+// scrubber-hot-begin
+
+/// One lockstep descent step for four rows: gather the node fields, read
+/// each lane's split feature (missing/out-of-range → -1.0), advance to
+/// the chosen child. Leaf lanes self-loop, so stepping them is a no-op.
+SCRUBBER_AVX2_FN void step4(const LaneTable& t, __m128i width_m1,
+                            __m128i row_off, Lane4& g) noexcept {
+  const __m256d thr = gather_pd(t.threshold.data(), g.cur);
+  const __m128i feat = gather_epi32(t.feature.data(), g.cur);
+  // Unsigned `feature < width` (width >= 1 here):
+  // min_epu32(f, width-1) == f  ⟺  f <= width-1.
+  const __m128i in_range =
+      _mm_cmpeq_epi32(_mm_min_epu32(feat, width_m1), feat);
+  // Sign-extend the 32-bit masks to the 64-bit gather mask: masked-off
+  // lanes keep the -1.0 source and NEVER touch memory, so out-of-range
+  // feature indices cannot fault.
+  const __m256d gather_mask =
+      _mm256_castsi256_pd(_mm256_cvtepi32_epi64(in_range));
+  const __m256d minus_one = _mm256_set1_pd(-1.0);
+  __m256d v = _mm256_mask_i32gather_pd(
+      minus_one, g.rows, _mm_add_epi32(feat, row_off), gather_mask, 8);
+  // Missing cells (NaN) also read as -1.0: keep v only where ordered.
+  v = _mm256_blendv_pd(minus_one, v, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
+  const __m128i go_left = mask_to_epi32(_mm256_cmp_pd(v, thr, _CMP_LE_OQ));
+  const __m128i left = gather_epi32(t.left.data(), g.cur);
+  const __m128i right = gather_epi32(t.right.data(), g.cur);
+  g.cur = _mm_blendv_epi8(right, left, go_left);
+}
+
+SCRUBBER_AVX2_FN __m256d leaf_values(const LaneTable& t,
+                                     const Lane4& g) noexcept {
+  return gather_pd(t.value.data(), g.cur);
+}
+
+SCRUBBER_AVX2_FN Lane4 make_lane4(std::int32_t root, const double* rows,
+                                  std::size_t base,
+                                  std::size_t width) noexcept {
+  return Lane4{_mm_set1_epi32(root), rows + base * width};
+}
+
+/// Folds one lane group of leaf values into out: += (forest margins) or
+/// plain store (single-tree predictions).
+template <bool kAccumulate>
+SCRUBBER_AVX2_FN void emit(double* dst, __m256d leaves) noexcept {
+  if constexpr (kAccumulate) {
+    _mm256_storeu_pd(dst, _mm256_add_pd(_mm256_loadu_pd(dst), leaves));
+  } else {
+    _mm256_storeu_pd(dst, leaves);
+  }
+}
+
+/// Shared tree-major driver. kAccumulate folds leaf values into out with
+/// += (forest margins) or plain stores (single-tree predictions); the
+/// ragged final group extracts lanes and applies the same IEEE add/store
+/// per live row, so padded and tail handling stay bit-identical
+/// (_mm256_add_pd is four independent scalar adds).
+template <bool kAccumulate>
+__attribute__((target("avx2"))) void descend_all(
+    const LaneTable& t, const double* rows, std::size_t width,
+    std::size_t n_live, std::size_t n_pad, double* out) noexcept {
+  const __m128i width_m1 =
+      _mm_set1_epi32(static_cast<std::int32_t>(width - 1));
+  const auto w = static_cast<std::int32_t>(width);
+  const __m128i row_off = _mm_setr_epi32(0, w, 2 * w, 3 * w);
+  // Full lane groups the vector path emits directly; the 8-row unroll
+  // runs two independent descents to hide gather latency.
+  const std::size_t full4 = std::min(n_live, n_pad) & ~std::size_t{3};
+  const std::size_t full8 = full4 & ~std::size_t{7};
+  for (std::size_t tree = 0; tree < t.root.size(); ++tree) {
+    const std::int32_t root = t.root[tree];
+    const std::int32_t depth = t.depth[tree];
+    std::size_t base = 0;
+    for (; base < full8; base += 8) {
+      Lane4 a = make_lane4(root, rows, base, width);
+      Lane4 b = make_lane4(root, rows, base + 4, width);
+      for (std::int32_t d = 0; d < depth; ++d) {
+        step4(t, width_m1, row_off, a);
+        step4(t, width_m1, row_off, b);
+      }
+      emit<kAccumulate>(out + base, leaf_values(t, a));
+      emit<kAccumulate>(out + base + 4, leaf_values(t, b));
+    }
+    for (; base < full4; base += 4) {
+      Lane4 a = make_lane4(root, rows, base, width);
+      for (std::int32_t d = 0; d < depth; ++d) step4(t, width_m1, row_off, a);
+      emit<kAccumulate>(out + base, leaf_values(t, a));
+    }
+    if (base < n_pad) {  // ragged group: padded rows, n_live - base live
+      Lane4 a = make_lane4(root, rows, base, width);
+      for (std::int32_t d = 0; d < depth; ++d) step4(t, width_m1, row_off, a);
+      alignas(32) double leaf[4];
+      _mm256_store_pd(leaf, leaf_values(t, a));
+      for (std::size_t j = 0; base + j < n_live; ++j) {
+        if constexpr (kAccumulate) {
+          out[base + j] += leaf[j];
+        } else {
+          out[base + j] = leaf[j];
+        }
+      }
+    }
+  }
+}
+
+// scrubber-hot-end
+
+#undef SCRUBBER_AVX2_FN
+
+}  // namespace
+
+__attribute__((target("avx2"))) void avx2_forest_margin(
+    const LaneTable& table, const double* rows, std::size_t width,
+    std::size_t n_live, std::size_t n_pad, double* out) noexcept {
+  descend_all<true>(table, rows, width, n_live, n_pad, out);
+}
+
+__attribute__((target("avx2"))) void avx2_tree_predict(
+    const LaneTable& table, const double* rows, std::size_t width,
+    std::size_t n_live, std::size_t n_pad, double* out) noexcept {
+  descend_all<false>(table, rows, width, n_live, n_pad, out);
+}
+
+}  // namespace scrubber::ml::detail
+
+#else  // scalar-only build: dispatch can never select these.
+
+#include <cstdlib>
+
+namespace scrubber::ml::detail {
+
+void avx2_forest_margin(const LaneTable&, const double*, std::size_t,
+                        std::size_t, std::size_t, double*) noexcept {
+  std::abort();  // unreachable: simd_level() caps at kScalar in this build
+}
+
+void avx2_tree_predict(const LaneTable&, const double*, std::size_t,
+                       std::size_t, std::size_t, double*) noexcept {
+  std::abort();
+}
+
+}  // namespace scrubber::ml::detail
+
+#endif

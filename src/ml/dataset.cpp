@@ -1,5 +1,6 @@
 #include "ml/dataset.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -84,6 +85,18 @@ void Dataset::append(const Dataset& other) {
     throw std::invalid_argument("cannot append dataset with different schema");
   data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+std::span<const double> Dataset::raw_padded(
+    std::size_t lane, std::vector<double>& storage) const {
+  const std::size_t rows = n_rows();
+  if (lane <= 1 || n_cols() == 0 || rows % lane == 0) {
+    return {data_.data(), data_.size()};
+  }
+  const std::size_t padded = (rows + lane - 1) / lane * lane;
+  storage.assign(padded * n_cols(), 0.0);
+  std::copy(data_.begin(), data_.end(), storage.begin());
+  return {storage.data(), storage.size()};
 }
 
 void Dataset::set_labels(std::vector<int> labels) {

@@ -116,6 +116,20 @@ class Dataset {
   /// Direct access to the underlying row-major buffer (for PCA/BLAS-ish code).
   [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
 
+  /// Mutable view of the whole row-major cell buffer (column-strip
+  /// transformers, e.g. WoeEncoder::encode_rows).
+  [[nodiscard]] std::span<double> cells() noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Row-major cell view padded to a multiple of `lane` rows (zero-filled
+  /// padding rows), so SIMD batch kernels can run full lane groups over
+  /// the ragged tail. Returns raw() directly when no padding is needed;
+  /// otherwise copies into `storage` and views that. The padding rows are
+  /// read but never scored — out.size() still bounds the live rows.
+  [[nodiscard]] std::span<const double> raw_padded(
+      std::size_t lane, std::vector<double>& storage) const;
+
  private:
   std::vector<ColumnInfo> columns_;
   std::vector<double> data_;  // row-major, n_rows * n_cols

@@ -232,7 +232,11 @@ double DecisionTree::score(std::span<const double> row) const {
 
 void DecisionTree::score_batch(const Dataset& data,
                                std::span<double> out) const {
-  compiled_.predict_batch(data.raw(), data.n_cols(), out);
+  // Padded assembly (see GradientBoostedTrees::score_batch): lets the
+  // AVX2 kernel cover the ragged tail with full lane groups.
+  std::vector<double> padded;
+  compiled_.predict_batch(data.raw_padded(kSimdLaneRows, padded),
+                          data.n_cols(), out);
 }
 
 std::size_t DecisionTree::depth() const noexcept {

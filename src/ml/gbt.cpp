@@ -292,7 +292,12 @@ double GradientBoostedTrees::score(std::span<const double> row) const {
 
 void GradientBoostedTrees::score_batch(const Dataset& data,
                                        std::span<double> out) const {
-  compiled_.score_batch(data.raw(), data.n_cols(), out);
+  // Padded assembly: zero-fill up to a whole SIMD lane group so the AVX2
+  // kernel can run full groups over the ragged tail (no copy when the row
+  // count already divides evenly — raw_padded returns the live buffer).
+  std::vector<double> padded;
+  compiled_.score_batch(data.raw_padded(kSimdLaneRows, padded), data.n_cols(),
+                        out);
 }
 
 std::vector<FeatureGain> GradientBoostedTrees::gain_importance() const {

@@ -162,12 +162,15 @@ util::Json woe_to_json(const WoeEncoder& encoder, std::size_t total_columns) {
     util::JsonObject entry;
     entry.emplace_back("index", util::Json(static_cast<std::uint64_t>(j)));
     util::JsonArray pairs;
-    for (const auto& [value, woe] : encoder.column(j).table()) {
+    // FlatHash iterates in insertion order, so a fitted column serializes
+    // deterministically and a loaded one re-serializes byte-identically.
+    encoder.column(j).table().for_each([&pairs](std::int64_t value,
+                                                double woe) {
       util::JsonArray pair;
       pair.emplace_back(static_cast<double>(value));
       pair.emplace_back(woe);
       pairs.emplace_back(std::move(pair));
-    }
+    });
     entry.emplace_back("table", util::Json(std::move(pairs)));
     tables.emplace_back(std::move(entry));
   }
@@ -183,11 +186,11 @@ std::unique_ptr<WoeEncoder> woe_from_json(const util::Json& json) {
   for (const auto& entry : json.at("tables").as_array()) {
     const auto index = static_cast<std::size_t>(entry.at("index").as_int());
     if (index >= total) throw util::JsonError("woe column index out of range");
-    std::unordered_map<std::int64_t, double> table;
+    WoeColumn::Table table;
     for (const auto& pair : entry.at("table").as_array()) {
       const auto& kv = pair.as_array();
       if (kv.size() != 2) throw util::JsonError("woe pair must have 2 entries");
-      table.emplace(static_cast<std::int64_t>(kv[0].as_int()), kv[1].as_number());
+      table[static_cast<std::int64_t>(kv[0].as_int())] = kv[1].as_number();
     }
     columns[index] = WoeColumn::from_table(std::move(table));
   }

@@ -9,32 +9,34 @@ void WoeColumn::finalize() {
   woe_.clear();
   woe_.reserve(counts_.size());
   // +1 smoothing on both conditional counts (footnote 1 of the paper).
-  for (const auto& [value, counts] : counts_) {
+  // Insertion order of counts_ (first observation of each value) becomes
+  // the iteration order of woe_ — and thus the serialization order.
+  counts_.for_each([this](std::int64_t value, const Counts& counts) {
     const double p1 = (counts.positive + 1.0) / (total_positive_ + 1.0);
     const double p0 = (counts.negative + 1.0) / (total_negative_ + 1.0);
-    woe_.emplace(value, std::log(p1 / p0));
-  }
+    woe_[value] = std::log(p1 / p0);
+  });
 }
 
 void WoeColumn::decay(double keep) {
   total_positive_ *= keep;
   total_negative_ *= keep;
-  for (auto it = counts_.begin(); it != counts_.end();) {
-    it->second.positive *= keep;
-    it->second.negative *= keep;
-    if (it->second.positive + it->second.negative < 0.01) {
-      it = counts_.erase(it);  // forgotten entirely
-    } else {
-      ++it;
-    }
-  }
+  // One extract_if pass scales every entry and drops the forgotten ones;
+  // survivors keep their insertion order.
+  counts_.extract_if(
+      [keep](std::int64_t, Counts& counts) {
+        counts.positive *= keep;
+        counts.negative *= keep;
+        return counts.positive + counts.negative < 0.01;  // forgotten
+      },
+      [](std::int64_t, Counts&&) {});
 }
 
 std::vector<std::int64_t> WoeColumn::values_above(double threshold) const {
   std::vector<std::int64_t> out;
-  for (const auto& [value, woe] : woe_) {
+  woe_.for_each([&](std::int64_t value, double woe) {
     if (woe > threshold) out.push_back(value);
-  }
+  });
   return out;
 }
 
@@ -107,6 +109,30 @@ Dataset WoeEncoder::fit_transform(const Dataset& data) {
   }
   // Final tables over all rows (used by apply()/inference from here on).
   fit(data);
+  return out;
+}
+
+void WoeEncoder::encode_rows(std::span<double> cells,
+                             std::size_t width) const {
+  if (width == 0) return;
+  const std::size_t n = cells.size() / width;
+  for (std::size_t j = 0; j < width && j < columns_.size(); ++j) {
+    if (!columns_[j]) continue;
+    const WoeColumn& column = *columns_[j];
+    double* cell = cells.data() + j;
+    for (std::size_t i = 0; i < n; ++i, cell += width) {
+      if (is_missing(*cell)) {
+        *cell = 0.0;  // missing categorical: neutral evidence
+        continue;
+      }
+      *cell = column.encode(static_cast<std::int64_t>(std::llround(*cell)));
+    }
+  }
+}
+
+Dataset WoeEncoder::apply_to_dataset(const Dataset& data) const {
+  Dataset out = data;
+  encode_rows(out.cells(), out.n_cols());
   return out;
 }
 

@@ -15,16 +15,26 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ml/classifier.hpp"
+#include "util/flat_hash.hpp"
 
 namespace scrubber::ml {
 
 /// WoE table of a single categorical column.
+///
+/// Both the count accumulator and the finished value -> WoE table live in
+/// util::FlatHash: contiguous storage for the encode hot path, and
+/// insertion-order iteration, which makes every serialization of a fitted
+/// column deterministic (first-observation order) and lets from_table()
+/// round-trip tables byte-identically — re-inserting in serialized order
+/// reproduces the iteration order exactly.
 class WoeColumn {
  public:
+  /// Serialized form: value -> WoE, iterated in insertion order.
+  using Table = util::FlatHash<std::int64_t, double>;
+
   /// Accumulates one observation of categorical value `value` with label y.
   void observe(std::int64_t value, int y) noexcept {
     auto& counts = counts_[value];
@@ -44,8 +54,8 @@ class WoeColumn {
 
   /// WoE of a value; 0.0 (neutral) for values unseen during fit.
   [[nodiscard]] double encode(std::int64_t value) const noexcept {
-    const auto it = woe_.find(value);
-    return it == woe_.end() ? 0.0 : it->second;
+    const double* woe = woe_.find(value);
+    return woe == nullptr ? 0.0 : *woe;
   }
 
   /// Operator override: pins a value to a fixed WoE (e.g. whitelist HTTP
@@ -58,14 +68,14 @@ class WoeColumn {
   /// Number of distinct values with a WoE entry.
   [[nodiscard]] std::size_t size() const noexcept { return woe_.size(); }
 
-  /// Read-only access to the full table.
-  [[nodiscard]] const std::unordered_map<std::int64_t, double>& table() const noexcept {
-    return woe_;
-  }
+  /// Read-only access to the full table (insertion-ordered iteration via
+  /// Table::for_each — the serialization order model_io writes).
+  [[nodiscard]] const Table& table() const noexcept { return woe_; }
 
   /// Rebuilds a column from a serialized value -> WoE table (model_io).
-  [[nodiscard]] static WoeColumn from_table(
-      std::unordered_map<std::int64_t, double> table) {
+  /// Insertion order of `table` becomes the column's iteration order, so
+  /// save -> load -> save round trips are byte-identical.
+  [[nodiscard]] static WoeColumn from_table(Table table) {
     WoeColumn column;
     column.woe_ = std::move(table);
     return column;
@@ -77,8 +87,8 @@ class WoeColumn {
     double negative = 0.0;
   };
 
-  std::unordered_map<std::int64_t, Counts> counts_;
-  std::unordered_map<std::int64_t, double> woe_;
+  util::FlatHash<std::int64_t, Counts> counts_;
+  Table woe_;
   double total_positive_ = 0.0;
   double total_negative_ = 0.0;
 };
@@ -99,6 +109,17 @@ class WoeEncoder final : public Transformer {
   void fit(const Dataset& data) override;
   void apply(std::span<double> row) const override;
   [[nodiscard]] Dataset fit_transform(const Dataset& data) override;
+
+  /// Column-strip batch encode of a row-major cell block (`width` doubles
+  /// per row): all rows of one categorical column are encoded before the
+  /// next, so each column's WoE table stays cache-resident across the
+  /// whole batch. Cell-for-cell the same operation as apply() row by row
+  /// — bit-identical output, enforced by tests/ml/woe_test.cpp.
+  void encode_rows(std::span<double> cells, std::size_t width) const;
+
+  /// Batch override of the row-loop default: one encode_rows() pass over
+  /// the dataset's cell buffer (WoE never changes row width).
+  [[nodiscard]] Dataset apply_to_dataset(const Dataset& data) const override;
 
   /// Continuous-learning update: decays every column's counts by `keep`
   /// (1.0 = no forgetting), observes the new rows, and refinalizes the

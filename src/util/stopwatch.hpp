@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #if defined(__x86_64__) || defined(_M_X64)
+// NOLINTNEXTLINE(scrubber-simd-isolation): __rdtsc is a cycle counter, not a vector kernel — no AVX2 dispatch needed, it runs on every x86_64
 #include <x86intrin.h>
 #endif
 

@@ -1,0 +1,20 @@
+// Fixture: scrubber-simd-isolation — raw x86 vector intrinsics outside
+// src/util/simd.* and src/ml/compiled_tree* (header and identifiers).
+#include <immintrin.h>   // EXPECT-LINT: scrubber-simd-isolation
+#include <x86intrin.h>   // EXPECT-LINT: scrubber-simd-isolation
+
+namespace fixture {
+
+double sum4(const double* values) {
+  const __m256d v = _mm256_loadu_pd(values);  // EXPECT-LINT: scrubber-simd-isolation
+  const __m128d lo = _mm256_castpd256_pd128(v);  // EXPECT-LINT: scrubber-simd-isolation
+  const __m128d hi = _mm256_extractf128_pd(v, 1);  // EXPECT-LINT: scrubber-simd-isolation
+  const __m128d pair = _mm_add_pd(lo, hi);  // EXPECT-LINT: scrubber-simd-isolation
+  return _mm_cvtsd_f64(_mm_hadd_pd(pair, pair));  // EXPECT-LINT: scrubber-simd-isolation
+}
+
+int lanes_wide(__m512i block) {  // EXPECT-LINT: scrubber-simd-isolation
+  return _mm512_reduce_add_epi32(block);  // EXPECT-LINT: scrubber-simd-isolation
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: scrubber-simd-isolation exemption — src/ml/compiled_tree* (the
+// lane-table kernel TUs) may use intrinsics freely; nothing here may fire.
+#include <immintrin.h>
+
+namespace fixture {
+
+void add4(const double* a, const double* b, double* out) noexcept {
+  const __m256d va = _mm256_loadu_pd(a);
+  const __m256d vb = _mm256_loadu_pd(b);
+  _mm256_storeu_pd(out, _mm256_add_pd(va, vb));
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: scrubber-simd-isolation exemption — src/util/simd.* is one of
+// the two sanctioned homes for x86 vector intrinsics; nothing here may
+// fire.
+#include <immintrin.h>
+
+namespace fixture {
+
+inline __m256d splat4(double value) noexcept {
+  return _mm256_set1_pd(value);
+}
+
+}  // namespace fixture

@@ -139,7 +139,8 @@ TEST(ScrubberLint, ListRulesNamesEveryRule) {
         "scrubber-naked-new", "scrubber-include-guard",
         "scrubber-banned-construct", "scrubber-nolint-needs-reason",
         "scrubber-transitive", "scrubber-deterministic",
-        "scrubber-layering", "scrubber-stale-nolint"}) {
+        "scrubber-layering", "scrubber-stale-nolint",
+        "scrubber-simd-isolation"}) {
     EXPECT_TRUE(rules.count(rule) > 0) << "missing rule id: " << rule;
   }
 }

@@ -86,6 +86,31 @@ TEST(ModelIo, WoeRoundTrip) {
     EXPECT_NEAR(encoder.column(1).encode(v), restored->column(1).encode(v), 1e-9);
 }
 
+TEST(ModelIo, WoeSaveLoadSaveIsByteIdentical) {
+  // WoE tables live in insertion-ordered FlatHash storage and
+  // woe_from_json re-inserts in serialized order, so save -> load -> save
+  // reproduces the exact bytes — model artifacts stay diffable across
+  // continuous-learning rounds.
+  Dataset data({{"cat_a", ColumnKind::kCategorical},
+                {"num", ColumnKind::kNumeric},
+                {"cat_b", ColumnKind::kCategorical}});
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const int y = rng.chance(0.5) ? 1 : 0;
+    const double row[3] = {static_cast<double>(rng.below(40)), rng.normal(),
+                           static_cast<double>(rng.below(1000))};
+    data.add_row(row, y);
+  }
+  WoeEncoder encoder(0);
+  encoder.fit(data);
+  const std::string first = woe_to_json(encoder, data.n_cols()).dump();
+  const auto restored = woe_from_json(util::Json::parse(first));
+  const std::string second = woe_to_json(*restored, data.n_cols()).dump();
+  EXPECT_EQ(first, second);
+  const auto again = woe_from_json(util::Json::parse(second));
+  EXPECT_EQ(woe_to_json(*again, data.n_cols()).dump(), second);
+}
+
 TEST(ModelIo, WoeRejectsOutOfRangeIndex) {
   util::Json bogus;
   bogus.set("type", util::Json("woe"));

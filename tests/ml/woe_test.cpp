@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
 
 namespace scrubber::ml {
 namespace {
@@ -174,6 +178,83 @@ TEST(WoeEncoder, CrossFitSmallDataFallsBack) {
   data.add_row(row, 0);
   WoeEncoder encoder(5);
   EXPECT_NO_THROW((void)encoder.fit_transform(data));
+}
+
+TEST(WoeColumn, FromTablePreservesIterationOrder) {
+  // FlatHash iterates in insertion order; from_table() re-adopts a table
+  // as-is, so the (value, woe) sequence — and therefore every future
+  // serialization — survives the round trip exactly.
+  WoeColumn column;
+  for (const std::int64_t value : {42, 7, 1000, -3, 0}) {
+    column.observe(value, 1);
+    column.observe(value, value % 2 == 0 ? 0 : 1);
+  }
+  column.finalize();
+
+  const auto sequence = [](const WoeColumn& c) {
+    std::vector<std::pair<std::int64_t, double>> out;
+    c.table().for_each([&out](std::int64_t value, double woe) {
+      out.emplace_back(value, woe);
+    });
+    return out;
+  };
+  const auto original = sequence(column);
+  ASSERT_EQ(original.size(), 5u);
+  EXPECT_EQ(original[0].first, 42);  // first-observation order
+  EXPECT_EQ(original[4].first, 0);
+
+  const WoeColumn restored = WoeColumn::from_table(column.table());
+  EXPECT_EQ(sequence(restored), original);
+}
+
+TEST(WoeEncoder, EncodeRowsBitIdenticalToPerRowApply) {
+  // encode_rows() is the column-strip batch form of apply(): same table
+  // lookups, same missing -> 0.0 rule, cell-for-cell identical bits.
+  Dataset data({{"cat_a", ColumnKind::kCategorical},
+                {"num", ColumnKind::kNumeric},
+                {"cat_b", ColumnKind::kCategorical}});
+  for (int i = 0; i < 30; ++i) {
+    const double row[3] = {static_cast<double>(i % 5), 1.5 * i,
+                           static_cast<double>(100 + i % 7)};
+    data.add_row(row, i % 2);
+  }
+  WoeEncoder encoder(0);
+  encoder.fit(data);
+
+  // Seen values, unseen values (-> 0.0), missing cells, and a numeric
+  // column that must pass through untouched (including its NaNs).
+  std::vector<double> cells{
+      0.0,      1.5,      100.0,     //
+      4.0,      kMissing, 106.0,     //
+      999.0,    -2.25,    -50.0,     //
+      kMissing, 0.0,      kMissing,  //
+      2.0,      1e18,     103.0,     //
+  };
+  const std::size_t width = 3;
+  const std::size_t n = cells.size() / width;
+
+  std::vector<double> by_row = cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    encoder.apply(std::span(by_row.data() + i * width, width));
+  }
+  std::vector<double> by_batch = cells;
+  encoder.encode_rows(by_batch, width);
+  ASSERT_EQ(by_row.size(), by_batch.size());
+  EXPECT_EQ(std::memcmp(by_row.data(), by_batch.data(),
+                        by_row.size() * sizeof(double)),
+            0);
+
+  // The Dataset-level batch override routes through the same pass.
+  Dataset probe({{"cat_a", ColumnKind::kCategorical},
+                 {"num", ColumnKind::kNumeric},
+                 {"cat_b", ColumnKind::kCategorical}});
+  for (std::size_t i = 0; i < n; ++i) {
+    probe.add_row(std::span(cells.data() + i * width, width), 0);
+  }
+  const Dataset encoded = encoder.apply_to_dataset(probe);
+  EXPECT_EQ(std::memcmp(encoded.raw().data(), by_row.data(),
+                        by_row.size() * sizeof(double)),
+            0);
 }
 
 TEST(WoeEncoder, RestoreRoundTrip) {

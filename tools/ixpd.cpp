@@ -4,7 +4,7 @@
 //   ixpd --profile us2 --minutes 2880 --shards 4 [--seed 7]
 //        [--sampling 10] [--queue 4096] [--policy block|drop] [--wire 1]
 //        [--batch 512] [--gen-threads N] [--train-threads N]
-//        [--agg-threads N]
+//        [--agg-threads N] [--simd auto|scalar|avx2]
 //        [--stats-every 240] [--warmup 1440] [--retrain 1440]
 //   ixpd --listen <port> [--bind 127.0.0.1] [--backend auto|recvmmsg|io_uring]
 //        [--recv-batch 32] [--idle-stop-ms 0] --profile ... --minutes ...
@@ -41,6 +41,7 @@
 #include "flowgen/generator.hpp"
 #include "netio/listener.hpp"
 #include "runtime/engine.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -107,6 +108,18 @@ int run(int argc, char** argv) {
   // any value too (DESIGN.md §9), so also default to every core.
   const unsigned train_threads = util::set_training_threads(
       static_cast<unsigned>(args.number("train-threads", 0)));
+  // Scoring kernel dispatch: scores are bit-identical at every level
+  // (DESIGN.md §13), so this only trades wall time — scalar is the
+  // apples-to-apples baseline for perf triage. A level the build or CPU
+  // cannot execute is clamped down, never trusted.
+  const std::string simd = args.get("simd", "auto");
+  if (simd == "scalar") {
+    util::set_simd_override(util::SimdLevel::kScalar);
+  } else if (simd == "avx2") {
+    util::set_simd_override(util::SimdLevel::kAvx2);
+  } else if (simd != "auto") {
+    throw std::runtime_error("--simd must be auto, scalar or avx2");
+  }
 
   runtime::EngineConfig engine_config;
   engine_config.shards = static_cast<std::size_t>(args.number("shards", 4));
@@ -192,11 +205,12 @@ int run(int argc, char** argv) {
           }
         });
     std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
-                "policy=%s listen=%s:%u backend=%s seed=%llu\n",
+                "policy=%s listen=%s:%u backend=%s simd=%s seed=%llu\n",
                 profile.name.c_str(), minutes, engine_config.shards,
                 engine_config.queue_capacity, engine_config.batch_records,
                 policy.c_str(), listener_config.bind_address.c_str(),
                 listener.port(), backend.c_str(),
+                util::simd_level_name(util::simd_level()),
                 static_cast<unsigned long long>(seed));
     std::fflush(stdout);
     // This (the main) thread becomes the engine's producer: it runs the
@@ -209,11 +223,12 @@ int run(int argc, char** argv) {
   } else {
     std::printf("ixpd: profile=%s minutes=%u shards=%zu queue=%zu batch=%zu "
                 "policy=%s sampling=1/%u wire=%d gen-threads=%u "
-                "train-threads=%u agg-threads=%u seed=%llu\n",
+                "train-threads=%u agg-threads=%u simd=%s seed=%llu\n",
                 profile.name.c_str(), minutes, engine_config.shards,
                 engine_config.queue_capacity, engine_config.batch_records,
                 policy.c_str(), sampling, wire, gen_threads, train_threads,
                 detector_config.agg_threads,
+                util::simd_level_name(util::simd_level()),
                 static_cast<unsigned long long>(seed));
 
     const net::Ipv4Address agent = net::Ipv4Address::from_octets(10, 99, 0, 1);

@@ -343,6 +343,40 @@ void rule_banned_construct(const LexedFile& f, Sink& sink) {
   }
 }
 
+/// scrubber-simd-isolation: x86 vector intrinsics — the <immintrin.h>
+/// header family and _mm*/__m128/__m256/__m512 identifiers — are allowed
+/// only in src/util/simd.* (the dispatch layer) and src/ml/compiled_tree*
+/// (the lane-table kernels). Everywhere else wants the dispatched batch
+/// APIs: intrinsics that sprawl into ordinary TUs can be inlined into
+/// functions the linker picks for other TUs and then fault on machines
+/// the runtime cpuid gate was supposed to protect (DESIGN.md §13).
+void rule_simd_isolation(const LexedFile& f, Sink& sink) {
+  if (starts_with(f.rel_path, "src/util/simd.")) return;
+  if (starts_with(f.rel_path, "src/ml/compiled_tree")) return;
+  for (const Directive& d : f.directives) {
+    if (d.text.find("intrin.h") != std::string::npos) {
+      add(sink, f, d.line, "scrubber-simd-isolation",
+          "intrinsics header outside src/util/simd.* and "
+          "src/ml/compiled_tree* — SIMD code lives behind "
+          "util::simd_level() dispatch so one binary stays safe on "
+          "non-AVX2 machines");
+    }
+  }
+  const auto vector_intrinsic = [](const std::string& name) {
+    return starts_with(name, "_mm") || starts_with(name, "__m64") ||
+           starts_with(name, "__m128") || starts_with(name, "__m256") ||
+           starts_with(name, "__m512");
+  };
+  for (const Token& token : f.tokens) {
+    if (!token.is_identifier || !vector_intrinsic(token.text)) continue;
+    add(sink, f, token.line, "scrubber-simd-isolation",
+        "`" + token.text +
+            "` outside src/util/simd.* and src/ml/compiled_tree* — call "
+            "the dispatched batch APIs (CompiledForest::margin_batch et "
+            "al.) instead of raw vector intrinsics");
+  }
+}
+
 /// scrubber-deterministic (direct): inside // scrubber-deterministic
 /// regions no unseeded randomness, clock reads, unordered-container use,
 /// or address-dependent ordering — the sharded-collector merge, the
@@ -389,7 +423,7 @@ const std::vector<std::string>& all_rule_ids() {
       "scrubber-include-guard",   "scrubber-banned-construct",
       "scrubber-nolint-needs-reason", "scrubber-transitive",
       "scrubber-deterministic",   "scrubber-layering",
-      "scrubber-stale-nolint",
+      "scrubber-stale-nolint",    "scrubber-simd-isolation",
   };
   return kRules;
 }
@@ -425,6 +459,7 @@ void run_file_rules(const LexedFile& file, Sink& sink) {
   rule_naked_new(file, sink);
   rule_include_guard(file, sink);
   rule_banned_construct(file, sink);
+  rule_simd_isolation(file, sink);
   rule_deterministic_direct(file, sink);
 }
 
