@@ -19,6 +19,16 @@
 // keeping all the assertions — the mode the perf-smoke CI job runs — and
 // dumps the per-thread-count model artifacts (training_model_t<N>.json)
 // so the job can byte-compare them in-job.
+//
+// GBT breakdown (per row): alongside the trajectory-comparable cold fit
+// (BinCache cleared first), the row times the BinnedMatrix build alone
+// (the binning share of a cold fit), warm fits that hit the BinCache
+// (the steady-state retraining cost), and the embedded seed engine
+// (bench/gbt_oracle.hpp) on the same data — asserting the production
+// model's bytes EQUAL the oracle's, and that the warm fits actually hit
+// the cache. The oracle-relative speedups and BinCache counters land in
+// BENCH_training.json; like every bench here, speed is recorded, bytes
+// are asserted.
 
 #include <algorithm>
 #include <cstdio>
@@ -28,8 +38,11 @@
 #include <vector>
 
 #include "../bench/common.hpp"
+#include "../bench/gbt_oracle.hpp"
 #include "arm/fpgrowth.hpp"
 #include "arm/item.hpp"
+#include "ml/bin_cache.hpp"
+#include "ml/binned.hpp"
 #include "ml/gbt.hpp"
 #include "ml/grid_search.hpp"
 #include "ml/model_io.hpp"
@@ -48,6 +61,13 @@ void expect_identical(bool ok, unsigned threads, const char* what) {
   ++failures;
   std::fprintf(stderr, "FAIL determinism: %s differs at %u threads vs 1\n",
                what, threads);
+}
+
+/// Generic correctness gate (oracle identity, cache behavior).
+void expect(bool ok, const char* what) {
+  if (ok) return;
+  ++failures;
+  std::fprintf(stderr, "FAIL: %s\n", what);
 }
 
 /// Canonical text form of a grid-search result: winner plus every
@@ -82,6 +102,12 @@ struct SweepRow {
   unsigned threads = 0;
   bool advisory = false;  ///< threads exceed hardware_concurrency
   KernelRow gbt, fpgrowth, grid;
+  // GBT breakdown.
+  double bin_build_seconds = 0.0;  ///< BinnedMatrix construction alone
+  double warm_seconds = 0.0;       ///< per-fit, binning served by BinCache
+  double oracle_seconds = 0.0;     ///< embedded seed engine, same data
+  bool oracle_identical = true;    ///< model bytes == oracle bytes
+  ml::BinCache::Stats cache;       ///< counter deltas across this row
 };
 
 }  // namespace
@@ -97,7 +123,9 @@ int main(int argc, char** argv) {
                       "learning-plane throughput (threads x kernel sweep)");
   bench::print_expectation(
       ">= 2x on gbt_train and fpgrowth at 4 threads vs 1 thread on a "
-      "multi-core host; bit-identical outputs at every thread count");
+      "multi-core host; >= 2x single-thread GBT fit vs the embedded "
+      "seed-engine oracle; bit-identical outputs at every thread count "
+      "and vs the oracle");
 
   // One fixed trace for every configuration: hours of the large IXP-US1
   // feed (minutes of it in --smoke). Aggregated records feed GBT and the
@@ -166,8 +194,12 @@ int main(int argc, char** argv) {
                    threads, hardware);
     }
     util::set_training_threads(threads);
+    ml::BinCache& cache = ml::BinCache::instance();
+    cache.clear();
+    const ml::BinCache::Stats cache_start = cache.stats();
 
-    // GBT training.
+    // GBT training: cold fit (empty cache — bins the data itself), the
+    // trajectory-comparable number.
     util::Stopwatch gbt_sw;
     ml::GradientBoostedTrees model(gbt_params);
     model.fit(aggregated.data);
@@ -186,6 +218,43 @@ int main(int argc, char** argv) {
       std::ofstream file(name);
       file << serialized << "\n";
     }
+
+    // Binning share of a cold fit: the BinnedMatrix build alone.
+    {
+      util::Stopwatch bin_sw;
+      const ml::BinnedMatrix direct(aggregated.data, gbt_params.max_bins);
+      row.bin_build_seconds = bin_sw.seconds();
+      bench::keep_alive(static_cast<long long>(
+          direct.bin(direct.rows() / 2, direct.cols() / 2)));
+    }
+
+    // Warm fits: binning served by the BinCache — the steady-state cost
+    // of the retraining loop. Bytes must match the cold fit, and the
+    // cache must actually have served each fit.
+    constexpr int kWarmReps = 5;
+    const ml::BinCache::Stats warm_start = cache.stats();
+    util::Stopwatch warm_sw;
+    for (int rep = 0; rep < kWarmReps; ++rep) {
+      ml::GradientBoostedTrees warm(gbt_params);
+      warm.fit(aggregated.data);
+      if (rep == 0) {
+        expect(ml::gbt_to_json(warm).dump(2) == serialized,
+               "warm (cache-hit) GBT fit bytes == cold fit bytes");
+      }
+    }
+    row.warm_seconds = warm_sw.seconds() / kWarmReps;
+    expect(cache.stats().hits >= warm_start.hits + kWarmReps,
+           "BinCache served every warm GBT fit");
+
+    // Embedded seed engine on the same data: the model bytes must be
+    // EQUAL — the engine rewrite is faster, not different.
+    util::Stopwatch oracle_sw;
+    const ml::GradientBoostedTrees oracle =
+        bench_oracle::restore_oracle(aggregated.data, gbt_params);
+    row.oracle_seconds = oracle_sw.seconds();
+    row.oracle_identical = ml::gbt_to_json(oracle).dump(2) == serialized;
+    expect(row.oracle_identical,
+           "GBT model bytes == embedded seed-engine oracle bytes");
 
     // FP-Growth rule mining.
     util::Stopwatch fp_sw;
@@ -226,6 +295,15 @@ int main(int argc, char** argv) {
                        "grid-search winner/scores");
     }
 
+    // Counter deltas across the whole row (cold + warm fits + grid
+    // search; the shared grid fold set makes later configurations hit).
+    const ml::BinCache::Stats cache_end = cache.stats();
+    row.cache.hits = cache_end.hits - cache_start.hits;
+    row.cache.misses = cache_end.misses - cache_start.misses;
+    row.cache.evictions = cache_end.evictions - cache_start.evictions;
+    row.cache.entries = cache_end.entries;
+    expect(row.cache.hits > 0, "BinCache hits nonzero across the row");
+
     rows.push_back(row);
   }
 
@@ -240,27 +318,29 @@ int main(int argc, char** argv) {
   const double grid_base = base(&SweepRow::grid);
 
   util::TextTable table;
-  table.set_header({"threads", "gbt_s", "gbt_x", "fpgrowth_s", "fpgrowth_x",
-                    "grid_s", "grid_x", "identical", "advisory"});
+  table.set_header({"threads", "gbt_s", "gbt_x", "bin_s", "warm_s", "oracle_s",
+                    "orc_x", "fpgrowth_s", "grid_s", "identical", "advisory"});
   util::JsonArray results;
   for (const SweepRow& row : rows) {
     const auto speedup = [](double baseline, double seconds) {
       return seconds > 0.0 ? baseline / seconds : 0.0;
     };
-    const bool identical =
-        row.gbt.identical && row.fpgrowth.identical && row.grid.identical;
-    char gbt_s[32], gbt_x[32], fp_s[32], fp_x[32], grid_s[32], grid_x[32];
+    const bool identical = row.gbt.identical && row.fpgrowth.identical &&
+                           row.grid.identical && row.oracle_identical;
+    char gbt_s[32], gbt_x[32], bin_s[32], warm_s[32], oracle_s[32], orc_x[32],
+        fp_s[32], grid_s[32];
     std::snprintf(gbt_s, sizeof(gbt_s), "%.3f", row.gbt.seconds);
     std::snprintf(gbt_x, sizeof(gbt_x), "%.2f",
                   speedup(gbt_base, row.gbt.seconds));
+    std::snprintf(bin_s, sizeof(bin_s), "%.3f", row.bin_build_seconds);
+    std::snprintf(warm_s, sizeof(warm_s), "%.3f", row.warm_seconds);
+    std::snprintf(oracle_s, sizeof(oracle_s), "%.3f", row.oracle_seconds);
+    std::snprintf(orc_x, sizeof(orc_x), "%.2f",
+                  speedup(row.oracle_seconds, row.warm_seconds));
     std::snprintf(fp_s, sizeof(fp_s), "%.3f", row.fpgrowth.seconds);
-    std::snprintf(fp_x, sizeof(fp_x), "%.2f",
-                  speedup(fp_base, row.fpgrowth.seconds));
     std::snprintf(grid_s, sizeof(grid_s), "%.3f", row.grid.seconds);
-    std::snprintf(grid_x, sizeof(grid_x), "%.2f",
-                  speedup(grid_base, row.grid.seconds));
-    table.add_row({std::to_string(row.threads), gbt_s, gbt_x, fp_s, fp_x,
-                   grid_s, grid_x, identical ? "yes" : "NO",
+    table.add_row({std::to_string(row.threads), gbt_s, gbt_x, bin_s, warm_s,
+                   oracle_s, orc_x, fp_s, grid_s, identical ? "yes" : "NO",
                    row.advisory ? "yes" : ""});
 
     util::Json item;
@@ -269,6 +349,19 @@ int main(int argc, char** argv) {
     item.set("identical", identical);
     item.set("gbt_train_seconds", row.gbt.seconds);
     item.set("gbt_train_speedup", speedup(gbt_base, row.gbt.seconds));
+    // Breakdown: binning share of a cold fit, steady-state warm fit, and
+    // the embedded seed engine on identical data (bytes asserted equal).
+    item.set("gbt_bin_build_seconds", row.bin_build_seconds);
+    item.set("gbt_warm_fit_seconds", row.warm_seconds);
+    item.set("gbt_oracle_seconds", row.oracle_seconds);
+    item.set("gbt_cold_speedup_vs_oracle",
+             speedup(row.oracle_seconds, row.gbt.seconds));
+    item.set("gbt_warm_speedup_vs_oracle",
+             speedup(row.oracle_seconds, row.warm_seconds));
+    item.set("oracle_identical", row.oracle_identical);
+    item.set("bin_cache_hits", static_cast<double>(row.cache.hits));
+    item.set("bin_cache_misses", static_cast<double>(row.cache.misses));
+    item.set("bin_cache_evictions", static_cast<double>(row.cache.evictions));
     item.set("fpgrowth_seconds", row.fpgrowth.seconds);
     item.set("fpgrowth_speedup", speedup(fp_base, row.fpgrowth.seconds));
     item.set("grid_search_seconds", row.grid.seconds);

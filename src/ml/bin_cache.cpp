@@ -1,0 +1,99 @@
+#include "ml/bin_cache.hpp"
+
+#include <bit>
+
+namespace scrubber::ml {
+namespace {
+
+/// splitmix64 finalizer: the avalanche stage used across the tree
+/// (util/flat_hash.hpp); chained over words it makes a solid streaming
+/// content hash with no seed material — fully deterministic across runs.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// scrubber-deterministic-begin
+
+BinCache& BinCache::instance() {
+  static BinCache cache;
+  return cache;
+}
+
+BinCache::Key BinCache::make_key(const Dataset& data, std::size_t max_bins,
+                                 MissingPolicy policy) noexcept {
+  // Two independently-seeded mix64 chains over the cell words give a
+  // 128-bit content hash; cells are hashed by bit pattern, so the quiet
+  // NaN missing sentinel hashes stably.
+  std::uint64_t lo = 0x49585053435255ULL;  // "IXPSCRU"
+  std::uint64_t hi = 0x42494E43414348ULL;  // "BINCACH"
+  for (const double cell : data.raw()) {
+    const std::uint64_t word = std::bit_cast<std::uint64_t>(cell);
+    lo = mix64(lo ^ word);
+    hi = mix64(hi + word);
+  }
+  Key key;
+  key.hash_lo = lo;
+  key.hash_hi = hi;
+  key.rows = data.n_rows();
+  key.cols = data.n_cols();
+  key.max_bins = max_bins;
+  key.policy = policy;
+  return key;
+}
+
+std::shared_ptr<const BinnedMatrix> BinCache::get_or_build(
+    const Dataset& data, std::size_t max_bins, MissingPolicy policy) {
+  const Key key = make_key(data, max_bins, policy);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& entry : entries_) {
+      if (entry.key == key) {
+        ++hits_;
+        return entry.matrix;
+      }
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: independent datasets bin concurrently, and a
+  // benign shared-miss race just builds the same value twice.
+  auto built = std::make_shared<const BinnedMatrix>(data, max_bins, policy);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return entry.matrix;  // racer inserted first
+  }
+  if (entries_.size() >= kCapacity) {
+    entries_.erase(entries_.begin());  // FIFO: oldest insertion out
+    ++evictions_;
+  }
+  entries_.push_back(Entry{key, built});
+  return built;
+}
+
+BinCache::Stats BinCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void BinCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+// scrubber-deterministic-end
+
+}  // namespace scrubber::ml

@@ -1,0 +1,113 @@
+#include "ml/binned.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+/// Builds one column's ascending edge list from its distinct mapped
+/// values (`distinct`, sorted+uniqued in `scratch`). `budget` is the
+/// maximum bin count this column may use (max_bins, minus the reserved
+/// missing bin under kReservedBin).
+void build_edges(const std::vector<double>& distinct, std::size_t budget,
+                 std::vector<double>& edges) {
+  if (distinct.size() <= budget) {
+    // One bin per distinct value; edges are midpoints.
+    for (std::size_t k = 0; k + 1 < distinct.size(); ++k) {
+      edges.push_back((distinct[k] + distinct[k + 1]) / 2.0);
+    }
+  } else {
+    for (std::size_t b = 1; b < budget; ++b) {
+      const std::size_t idx = b * distinct.size() / budget;
+      const double edge = distinct[idx];
+      if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+    }
+  }
+}
+
+}  // namespace
+
+// scrubber-deterministic-begin
+BinnedMatrix::BinnedMatrix(const Dataset& data, std::size_t max_bins,
+                           MissingPolicy policy) {
+  rows_ = data.n_rows();
+  cols_ = data.n_cols();
+  max_bins_ = max_bins;
+  policy_ = policy;
+  edges_.resize(cols_);
+
+  const bool reserved = policy == MissingPolicy::kReservedBin;
+  const double missing_value = missing_mapped_value(policy);
+  util::ThreadPool& pool = util::training_pool();
+
+  // Phase 1: per-column edges. One sort scratch per chunk, reused across
+  // its columns — no per-column `values` + `sorted` duplicate buffers.
+  pool.parallel_for_chunks(
+      cols_, [&](std::size_t, std::size_t col_begin, std::size_t col_end) {
+        std::vector<double> scratch;
+        scratch.reserve(rows_);
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          scratch.clear();
+          for (std::size_t i = 0; i < rows_; ++i) {
+            const double v = data.at(i, j);
+            if (is_missing(v)) {
+              // Reserved policy keeps missing out of the edge estimate
+              // entirely; legacy folds it into the -1.0 value population.
+              if (!reserved) scratch.push_back(-1.0);
+            } else {
+              scratch.push_back(v);
+            }
+          }
+          std::sort(scratch.begin(), scratch.end());
+          scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                        scratch.end());
+
+          auto& edges = edges_[j];
+          if (reserved) edges.push_back(kReservedMissingEdge);
+          build_edges(scratch, reserved ? max_bins - 1 : max_bins, edges);
+        }
+      });
+
+  // Phase 2: pick the code width from the widest column, then assign
+  // codes. The split keeps the decision data-driven (a u16 fallback only
+  // when some column genuinely exceeds 256 bins) instead of keying on the
+  // max_bins request.
+  std::size_t widest = 0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    widest = std::max(widest, bin_count(j));
+  }
+  if (widest <= 256) {
+    codes8_.resize(rows_ * cols_);
+  } else {
+    codes16_.resize(rows_ * cols_);
+  }
+
+  pool.parallel_for_chunks(
+      cols_, [&](std::size_t, std::size_t col_begin, std::size_t col_end) {
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          const auto& edges = edges_[j];
+          const double* edge_data = edges.data();
+          const auto n_edges = static_cast<std::uint32_t>(edges.size());
+          if (narrow()) {
+            std::uint8_t* out = codes8_.data() + j * rows_;
+            for (std::size_t i = 0; i < rows_; ++i) {
+              const double v = data.at(i, j);
+              out[i] = static_cast<std::uint8_t>(branchless_bin(
+                  edge_data, n_edges, is_missing(v) ? missing_value : v));
+            }
+          } else {
+            std::uint16_t* out = codes16_.data() + j * rows_;
+            for (std::size_t i = 0; i < rows_; ++i) {
+              const double v = data.at(i, j);
+              out[i] = static_cast<std::uint16_t>(branchless_bin(
+                  edge_data, n_edges, is_missing(v) ? missing_value : v));
+            }
+          }
+        }
+      });
+}
+// scrubber-deterministic-end
+
+}  // namespace scrubber::ml

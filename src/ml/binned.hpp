@@ -1,0 +1,134 @@
+#pragma once
+// Quantile binning of a Dataset into compact per-column bin codes — the
+// immutable input of the histogram GBT training engine (gbt.cpp) and the
+// unit the BinCache (bin_cache.hpp) shares across repeated fits.
+//
+// Layout: column-major codes, one code per cell, `rows()` codes per
+// column. When every column fits in 256 bins (the default max_bins=128
+// always does) codes are stored as u8, halving the bandwidth of the
+// histogram build; otherwise u16. Bin assignment is a branchless binary
+// search (conditional-move reductions, no per-row `upper_bound` call)
+// that computes exactly `#{edges <= value}` — the same bin the historical
+// `std::upper_bound` assignment produced, bit for bit.
+//
+// Missing cells (NaN) follow the MissingPolicy:
+//   * kMinusOne (legacy default): missing reads as -1.0 before binning,
+//     so it shares a bin with a legitimate -1.0 feature value.
+//   * kReservedBin: bin 0 is reserved for missing. Missing maps to -inf,
+//     edges gain a leading sentinel of numeric_limits<double>::lowest(),
+//     and every real value lands in bins >= 1 — no collision. A split at
+//     bin 0 separates "missing" from "present"; its stored threshold is
+//     the lowest() sentinel, which a scorer that reads missing as -inf
+//     routes consistently (GbtParams::missing_surrogate).
+//
+// Construction fans out over the training pool per column; per-column
+// results are bit-identical for any thread count. Instances are
+// immutable after construction and safe to share across threads.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace scrubber::ml {
+
+/// How missing (NaN) cells are binned; see the header comment.
+enum class MissingPolicy : std::uint8_t {
+  kMinusOne = 0,     ///< legacy: missing folds into the -1.0 value bin
+  kReservedBin = 1,  ///< bin 0 belongs to missing alone
+};
+
+/// Split threshold stored for a reserved-missing-bin split (bin 0): below
+/// every representable real value, so only the -inf missing surrogate
+/// routes left at inference.
+inline constexpr double kReservedMissingEdge =
+    std::numeric_limits<double>::lowest();
+
+/// The value a missing cell is mapped to before bin assignment.
+[[nodiscard]] constexpr double missing_mapped_value(
+    MissingPolicy policy) noexcept {
+  return policy == MissingPolicy::kReservedBin
+             ? -std::numeric_limits<double>::infinity()
+             : -1.0;
+}
+
+/// Branchless upper_bound: `#{edges[i] <= v}` over ascending `edges`.
+/// Pure conditional-move reduction — no data-dependent branch, so the
+/// per-row bin assignment pipeline never stalls on a mispredict. NaN
+/// inputs never reach this (missing is mapped first); -inf returns 0.
+[[nodiscard]] inline std::uint32_t branchless_bin(const double* edges,
+                                                  std::uint32_t n_edges,
+                                                  double v) noexcept {
+  std::uint32_t lo = 0;
+  std::uint32_t len = n_edges;
+  while (len > 0) {
+    const std::uint32_t half = len >> 1;
+    const bool right = edges[lo + half] <= v;
+    lo = right ? lo + half + 1 : lo;
+    len = right ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+/// Quantile bin edges and a binned column-major copy of a dataset.
+class BinnedMatrix {
+ public:
+  BinnedMatrix(const Dataset& data, std::size_t max_bins,
+               MissingPolicy policy = MissingPolicy::kMinusOne);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t max_bins() const noexcept { return max_bins_; }
+  [[nodiscard]] MissingPolicy policy() const noexcept { return policy_; }
+
+  /// True when codes are stored as u8 (every column has <= 256 bins).
+  [[nodiscard]] bool narrow() const noexcept { return codes16_.empty(); }
+
+  /// Bins of column `col` (edges + 1), including the reserved missing bin
+  /// under kReservedBin.
+  [[nodiscard]] std::size_t bin_count(std::size_t col) const noexcept {
+    return edges_[col].size() + 1;
+  }
+
+  /// Raw-value threshold of splitting "bin <= b" on column `col` (the
+  /// upper edge of bin b). Under kReservedBin, b == 0 returns the
+  /// kReservedMissingEdge sentinel.
+  [[nodiscard]] double edge_value(std::size_t col, std::size_t b) const noexcept {
+    return edges_[col][b];
+  }
+
+  /// Ascending edges of one column (tests / diagnostics).
+  [[nodiscard]] const std::vector<double>& edges(std::size_t col) const noexcept {
+    return edges_[col];
+  }
+
+  /// Bin code of one cell; width-agnostic accessor for cold paths
+  /// (row routing, tests). Hot loops use codes<Code>() columns instead.
+  [[nodiscard]] std::uint32_t bin(std::size_t row, std::size_t col) const noexcept {
+    return narrow() ? codes8_[col * rows_ + row] : codes16_[col * rows_ + row];
+  }
+
+  /// Column base pointer of the packed codes; Code must match narrow().
+  template <typename Code>
+  [[nodiscard]] const Code* codes(std::size_t col) const noexcept {
+    static_assert(sizeof(Code) == 1 || sizeof(Code) == 2,
+                  "bin codes are u8 or u16");
+    if constexpr (sizeof(Code) == 1) {
+      return reinterpret_cast<const Code*>(codes8_.data() + col * rows_);
+    } else {
+      return reinterpret_cast<const Code*>(codes16_.data() + col * rows_);
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t max_bins_ = 0;
+  MissingPolicy policy_ = MissingPolicy::kMinusOne;
+  std::vector<std::vector<double>> edges_;  ///< per column, ascending
+  std::vector<std::uint8_t> codes8_;        ///< column-major (narrow())
+  std::vector<std::uint16_t> codes16_;      ///< column-major (!narrow())
+};
+
+}  // namespace scrubber::ml

@@ -21,20 +21,24 @@ constexpr std::size_t kBlockRows = 16;
 
 /// The one traversal rule, verbatim from DecisionTree::score /
 /// GradientBoostedTrees::margin: missing (NaN) or out-of-range features
-/// read as -1.0; v <= threshold goes left.
+/// read as the model's surrogate value (-1.0 historically, -inf for
+/// reserved-missing-bin GBT models); v <= threshold goes left.
 [[nodiscard]] std::uint32_t step(const CompiledNode& node, const double* row,
-                                 std::size_t width) noexcept {
+                                 std::size_t width, double missing) noexcept {
   const double v = node.feature < width && !is_missing(row[node.feature])
                        ? row[node.feature]
-                       : -1.0;
+                       : missing;
   return static_cast<std::uint32_t>(v <= node.threshold ? node.left
                                                         : node.right);
 }
 
 [[nodiscard]] double traverse(const CompiledNode* nodes, std::uint32_t root,
-                              const double* row, std::size_t width) noexcept {
+                              const double* row, std::size_t width,
+                              double missing) noexcept {
   std::uint32_t index = root;
-  while (!nodes[index].is_leaf()) index = step(nodes[index], row, width);
+  while (!nodes[index].is_leaf()) {
+    index = step(nodes[index], row, width, missing);
+  }
   return nodes[index].value;
 }
 
@@ -45,7 +49,7 @@ constexpr std::size_t kBlockRows = 16;
 // scrubber-hot-begin
 void walk_block(const CompiledNode* nodes, std::uint32_t root,
                 const double* rows, std::size_t width, std::size_t n,
-                std::uint32_t* cursor) noexcept {
+                double missing, std::uint32_t* cursor) noexcept {
   for (std::size_t j = 0; j < n; ++j) cursor[j] = root;
   bool active = true;
   while (active) {
@@ -53,7 +57,7 @@ void walk_block(const CompiledNode* nodes, std::uint32_t root,
     for (std::size_t j = 0; j < n; ++j) {
       const CompiledNode& node = nodes[cursor[j]];
       if (node.is_leaf()) continue;
-      cursor[j] = step(node, rows + j * width, width);
+      cursor[j] = step(node, rows + j * width, width, missing);
       active = true;
     }
   }
@@ -115,6 +119,7 @@ void CompiledTree::build_lanes() {
 
 void CompiledForest::build_lanes() {
   lanes_ = detail::LaneTable{};
+  lanes_.missing = missing_;
   for (std::size_t t = 0; t < roots_.size(); ++t) {
     const std::size_t end =
         t + 1 < roots_.size() ? roots_[t + 1] : nodes_.size();
@@ -131,7 +136,7 @@ void CompiledForest::build_lanes() {
 
 double CompiledTree::predict(std::span<const double> row) const noexcept {
   if (nodes_.empty()) return 0.5;  // matches DecisionTree::score
-  return traverse(nodes_.data(), 0, row.data(), row.size());
+  return traverse(nodes_.data(), 0, row.data(), row.size(), -1.0);
 }
 
 void CompiledTree::predict_batch(std::span<const double> rows,
@@ -152,7 +157,8 @@ void CompiledTree::predict_batch(std::span<const double> rows,
   std::uint32_t cursor[kBlockRows];
   for (std::size_t base = done; base < n; base += kBlockRows) {
     const std::size_t m = std::min(kBlockRows, n - base);
-    walk_block(nodes_.data(), 0, rows.data() + base * width, width, m, cursor);
+    walk_block(nodes_.data(), 0, rows.data() + base * width, width, m, -1.0,
+               cursor);
     for (std::size_t j = 0; j < m; ++j) out[base + j] = nodes_[cursor[j]].value;
   }
 }
@@ -160,7 +166,7 @@ void CompiledTree::predict_batch(std::span<const double> rows,
 double CompiledForest::margin(std::span<const double> row) const noexcept {
   double total = base_margin_;
   for (const std::uint32_t root : roots_) {
-    total += traverse(nodes_.data(), root, row.data(), row.size());
+    total += traverse(nodes_.data(), root, row.data(), row.size(), missing_);
   }
   return total;
 }
@@ -187,7 +193,7 @@ void CompiledForest::margin_batch(std::span<const double> rows,
     for (std::size_t base = done; base < n; base += kBlockRows) {
       const std::size_t m = std::min(kBlockRows, n - base);
       walk_block(nodes_.data(), root, rows.data() + base * width, width, m,
-                 cursor);
+                 missing_, cursor);
       for (std::size_t j = 0; j < m; ++j) {
         out[base + j] += nodes_[cursor[j]].value;
       }

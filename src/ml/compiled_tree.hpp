@@ -23,8 +23,10 @@
 // BIT-IDENTICAL to the training-side scalar score() for every input —
 // whichever kernel runs — including NaN (missing) cells, feature indices
 // beyond the row width, and values exactly on a threshold. The traversal
-// rule is copied verbatim: a missing or out-of-range feature reads as
-// -1.0, and `v <= threshold` goes left.
+// rule is copied verbatim: a missing or out-of-range feature reads as a
+// per-model surrogate value (-1.0 historically; -inf for GBT models
+// trained with the reserved missing bin, GbtParams::missing_surrogate),
+// and `v <= threshold` goes left.
 
 #include <cstdint>
 #include <span>
@@ -96,6 +98,7 @@ struct LaneTable {
   std::vector<std::int32_t> right;
   std::vector<std::int32_t> root;   ///< per tree: absolute root index
   std::vector<std::int32_t> depth;  ///< per tree: lockstep descent steps
+  double missing = -1.0;            ///< surrogate for missing/out-of-range
 
   [[nodiscard]] bool empty() const noexcept { return value.empty(); }
 };
@@ -170,11 +173,15 @@ class CompiledForest {
  public:
   CompiledForest() = default;
 
+  /// `missing` is the surrogate value a missing or out-of-range feature
+  /// reads as during traversal (GbtParams::missing_surrogate).
   template <typename Tree>
   [[nodiscard]] static CompiledForest compile(const std::vector<Tree>& trees,
-                                              double base_margin) {
+                                              double base_margin,
+                                              double missing = -1.0) {
     CompiledForest out;
     out.base_margin_ = base_margin;
+    out.missing_ = missing;
     out.roots_.reserve(trees.size());
     for (const Tree& tree : trees) {
       out.roots_.push_back(static_cast<std::uint32_t>(out.nodes_.size()));
@@ -205,6 +212,7 @@ class CompiledForest {
   [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] double base_margin() const noexcept { return base_margin_; }
+  [[nodiscard]] double missing_surrogate() const noexcept { return missing_; }
 
  private:
   void build_lanes();
@@ -213,6 +221,7 @@ class CompiledForest {
   std::vector<std::uint32_t> roots_;
   detail::LaneTable lanes_;
   double base_margin_ = 0.0;
+  double missing_ = -1.0;
 };
 
 }  // namespace scrubber::ml

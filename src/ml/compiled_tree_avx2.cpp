@@ -10,9 +10,12 @@
 // Bit-identity with the scalar oracle (compiled_tree.cpp) is argued op by
 // op — see DESIGN.md §13 for the full contract:
 //
-//   * feature load: masked gather with a -1.0 source, mask = unsigned
+//   * feature load: masked gather with the model's missing-surrogate
+//     broadcast as the source (LaneTable::missing — -1.0 historically,
+//     -inf for reserved-missing-bin GBT models), mask = unsigned
 //     `feature < width`, then an ordered-compare blend replacing NaN with
-//     -1.0 — exactly the scalar "missing or out-of-range reads as -1.0".
+//     the same surrogate — exactly the scalar "missing or out-of-range
+//     reads as the surrogate".
 //   * descent: _CMP_LE_OQ is IEEE `v <= threshold` (false on NaN, but NaN
 //     was already substituted), so the left/right blend picks the same
 //     child the scalar ternary does.
@@ -72,10 +75,12 @@ SCRUBBER_AVX2_FN __m128i gather_epi32(const std::int32_t* base,
 // scrubber-hot-begin
 
 /// One lockstep descent step for four rows: gather the node fields, read
-/// each lane's split feature (missing/out-of-range → -1.0), advance to
-/// the chosen child. Leaf lanes self-loop, so stepping them is a no-op.
+/// each lane's split feature (missing/out-of-range → `missing`, the
+/// broadcast model surrogate), advance to the chosen child. Leaf lanes
+/// self-loop, so stepping them is a no-op.
 SCRUBBER_AVX2_FN void step4(const LaneTable& t, __m128i width_m1,
-                            __m128i row_off, Lane4& g) noexcept {
+                            __m128i row_off, __m256d missing,
+                            Lane4& g) noexcept {
   const __m256d thr = gather_pd(t.threshold.data(), g.cur);
   const __m128i feat = gather_epi32(t.feature.data(), g.cur);
   // Unsigned `feature < width` (width >= 1 here):
@@ -83,15 +88,15 @@ SCRUBBER_AVX2_FN void step4(const LaneTable& t, __m128i width_m1,
   const __m128i in_range =
       _mm_cmpeq_epi32(_mm_min_epu32(feat, width_m1), feat);
   // Sign-extend the 32-bit masks to the 64-bit gather mask: masked-off
-  // lanes keep the -1.0 source and NEVER touch memory, so out-of-range
-  // feature indices cannot fault.
+  // lanes keep the surrogate source and NEVER touch memory, so
+  // out-of-range feature indices cannot fault.
   const __m256d gather_mask =
       _mm256_castsi256_pd(_mm256_cvtepi32_epi64(in_range));
-  const __m256d minus_one = _mm256_set1_pd(-1.0);
   __m256d v = _mm256_mask_i32gather_pd(
-      minus_one, g.rows, _mm_add_epi32(feat, row_off), gather_mask, 8);
-  // Missing cells (NaN) also read as -1.0: keep v only where ordered.
-  v = _mm256_blendv_pd(minus_one, v, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
+      missing, g.rows, _mm_add_epi32(feat, row_off), gather_mask, 8);
+  // Missing cells (NaN) also read as the surrogate: keep v only where
+  // ordered.
+  v = _mm256_blendv_pd(missing, v, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
   const __m128i go_left = mask_to_epi32(_mm256_cmp_pd(v, thr, _CMP_LE_OQ));
   const __m128i left = gather_epi32(t.left.data(), g.cur);
   const __m128i right = gather_epi32(t.right.data(), g.cur);
@@ -133,6 +138,7 @@ __attribute__((target("avx2"))) void descend_all(
       _mm_set1_epi32(static_cast<std::int32_t>(width - 1));
   const auto w = static_cast<std::int32_t>(width);
   const __m128i row_off = _mm_setr_epi32(0, w, 2 * w, 3 * w);
+  const __m256d missing = _mm256_set1_pd(t.missing);
   // Full lane groups the vector path emits directly; the 8-row unroll
   // runs two independent descents to hide gather latency.
   const std::size_t full4 = std::min(n_live, n_pad) & ~std::size_t{3};
@@ -145,20 +151,24 @@ __attribute__((target("avx2"))) void descend_all(
       Lane4 a = make_lane4(root, rows, base, width);
       Lane4 b = make_lane4(root, rows, base + 4, width);
       for (std::int32_t d = 0; d < depth; ++d) {
-        step4(t, width_m1, row_off, a);
-        step4(t, width_m1, row_off, b);
+        step4(t, width_m1, row_off, missing, a);
+        step4(t, width_m1, row_off, missing, b);
       }
       emit<kAccumulate>(out + base, leaf_values(t, a));
       emit<kAccumulate>(out + base + 4, leaf_values(t, b));
     }
     for (; base < full4; base += 4) {
       Lane4 a = make_lane4(root, rows, base, width);
-      for (std::int32_t d = 0; d < depth; ++d) step4(t, width_m1, row_off, a);
+      for (std::int32_t d = 0; d < depth; ++d) {
+        step4(t, width_m1, row_off, missing, a);
+      }
       emit<kAccumulate>(out + base, leaf_values(t, a));
     }
     if (base < n_pad) {  // ragged group: padded rows, n_live - base live
       Lane4 a = make_lane4(root, rows, base, width);
-      for (std::int32_t d = 0; d < depth; ++d) step4(t, width_m1, row_off, a);
+      for (std::int32_t d = 0; d < depth; ++d) {
+        step4(t, width_m1, row_off, missing, a);
+      }
       alignas(32) double leaf[4];
       _mm256_store_pd(leaf, leaf_values(t, a));
       for (std::size_t j = 0; base + j < n_live; ++j) {

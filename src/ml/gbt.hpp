@@ -11,6 +11,7 @@
 // importance analysis.
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "ml/classifier.hpp"
@@ -29,6 +30,21 @@ struct GbtParams {
   double gamma = 0.0;             ///< minimum gain to make a split
   double min_child_weight = 1.0;  ///< minimum hessian sum per child
   std::size_t max_bins = 128;     ///< histogram bins per feature
+  /// Reserve a dedicated histogram bin for missing (NaN) cells instead of
+  /// folding them into the -1.0 value bin (the historical behavior, which
+  /// collides with a legitimate -1.0 feature value). Off by default: the
+  /// legacy mapping keeps trained models byte-identical to the historical
+  /// builder.
+  bool missing_reserved_bin = false;
+
+  /// The value a missing or out-of-range feature reads as during scoring.
+  /// Legacy models use -1.0; reserved-bin models use -inf, which routes
+  /// missing below the kReservedMissingEdge split threshold — consistent
+  /// with the training-side reserved bin 0 (ml/binned.hpp).
+  [[nodiscard]] double missing_surrogate() const noexcept {
+    return missing_reserved_bin ? -std::numeric_limits<double>::infinity()
+                                : -1.0;
+  }
 };
 
 /// Per-feature importance aggregated over all splits.

@@ -75,14 +75,14 @@ GridSearchResult grid_search(
     const Dataset& data, const std::vector<ParamPoint>& grid,
     const std::function<Pipeline(const ParamPoint&)>& factory, std::size_t folds,
     util::Rng& rng) {
-  // Fold assignments draw from the RNG sequentially in grid order — the
-  // exact stream a sequential search consumes — then every {config, fold}
-  // cell trains concurrently.
-  std::vector<FoldIndices> fold_sets;
-  fold_sets.reserve(grid.size());
-  for (std::size_t g = 0; g < grid.size(); ++g) {
-    fold_sets.push_back(data.stratified_folds(folds, rng));
-  }
+  // One fold assignment shared by every grid point: a paired comparison
+  // (each configuration sees the same train/test partitions, so score
+  // differences are attributable to the parameters, not fold luck), and
+  // every cell's fit re-encodes the same training folds — the BinCache
+  // (ml/bin_cache.hpp) then bins each fold once and every subsequent
+  // configuration hits. The single draw consumes the RNG once, in grid
+  // order, before any cell runs; cells then train concurrently.
+  const FoldIndices fold_indices = data.stratified_folds(folds, rng);
 
   const std::size_t cells = grid.size() * folds;
   std::vector<double> cell_score(cells, 0.0);
@@ -90,7 +90,7 @@ GridSearchResult grid_search(
     const std::size_t g = c / folds;
     const std::size_t f = c % folds;
     cell_score[c] = fold_fbeta(
-        data, fold_sets[g], f, [&] { return factory(grid[g]); }, 0.5);
+        data, fold_indices, f, [&] { return factory(grid[g]); }, 0.5);
   });
 
   // Reduce in grid order: per-point means sum folds ascending and the

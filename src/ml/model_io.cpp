@@ -75,6 +75,7 @@ util::Json gbt_to_json(const GradientBoostedTrees& model) {
     params.set("gamma", util::Json(p.gamma));
     params.set("min_child_weight", util::Json(p.min_child_weight));
     params.set("max_bins", util::Json(static_cast<std::uint64_t>(p.max_bins)));
+    params.set("missing_reserved_bin", util::Json(p.missing_reserved_bin));
     out.set("params", std::move(params));
   }
   {
@@ -109,6 +110,11 @@ std::unique_ptr<GradientBoostedTrees> gbt_from_json(const util::Json& json) {
   params.gamma = p.at("gamma").as_number();
   params.min_child_weight = p.at("min_child_weight").as_number();
   params.max_bins = static_cast<std::size_t>(p.at("max_bins").as_int());
+  // Absent in models saved before the reserved-bin option existed; those
+  // trained with the legacy -1.0 missing mapping.
+  if (const auto* flag = p.find("missing_reserved_bin")) {
+    params.missing_reserved_bin = flag->as_bool();
+  }
 
   std::vector<GradientBoostedTrees::Tree> trees;
   for (const auto& tree : json.at("trees").as_array())

@@ -1,0 +1,351 @@
+// Direct unit tests for ml/binned (the histogram engine's input layer)
+// and ml/bin_cache: edge construction, branchless bin assignment vs the
+// std::upper_bound definition, the u8/u16 code-width boundary, degenerate
+// columns, the missing-value collision both ways (legacy -1.0 folding vs
+// the reserved bin), and cache hit/miss/eviction semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/bin_cache.hpp"
+#include "ml/binned.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbt.hpp"
+#include "ml/model_io.hpp"
+#include "util/rng.hpp"
+
+namespace scrubber::ml {
+namespace {
+
+Dataset one_column(const std::vector<double>& values,
+                   const std::vector<int>& labels = {}) {
+  Dataset data({{"x0", ColumnKind::kNumeric}});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double row[1] = {values[i]};
+    data.add_row(row, labels.empty() ? 0 : labels[i]);
+  }
+  return data;
+}
+
+/// A column holding `distinct` evenly spaced distinct values, cycled over
+/// `rows` rows.
+Dataset spread_column(std::size_t rows, std::size_t distinct) {
+  std::vector<double> values(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    values[i] = static_cast<double>(i % distinct) * 0.5;
+  }
+  return one_column(values);
+}
+
+TEST(Binned, EdgesStrictlyAscending) {
+  util::Rng rng(71);
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) {
+    // Heavy duplication: draws from a small lattice stress the dedup in
+    // the quantile path.
+    values.push_back(std::floor(rng.uniform(-50.0, 50.0)) / 4.0);
+  }
+  for (const MissingPolicy policy :
+       {MissingPolicy::kMinusOne, MissingPolicy::kReservedBin}) {
+    const BinnedMatrix binned(one_column(values), 32, policy);
+    const std::vector<double>& edges = binned.edges(0);
+    for (std::size_t k = 0; k + 1 < edges.size(); ++k) {
+      EXPECT_LT(edges[k], edges[k + 1]) << "edge " << k;
+    }
+    EXPECT_LE(binned.bin_count(0), 32u);
+  }
+}
+
+TEST(Binned, BranchlessBinMatchesUpperBound) {
+  util::Rng rng(72);
+  std::vector<double> edges;
+  double e = -10.0;
+  for (int k = 0; k < 77; ++k) {
+    e += rng.uniform(0.01, 1.0);
+    edges.push_back(e);
+  }
+  std::vector<double> probes;
+  for (int i = 0; i < 2000; ++i) probes.push_back(rng.uniform(-15.0, 70.0));
+  for (const double edge : edges) probes.push_back(edge);  // exact hits
+  probes.push_back(-std::numeric_limits<double>::infinity());
+  probes.push_back(std::numeric_limits<double>::infinity());
+  probes.push_back(std::numeric_limits<double>::lowest());
+  probes.push_back(std::numeric_limits<double>::max());
+
+  for (const double v : probes) {
+    const auto expected = static_cast<std::uint32_t>(std::distance(
+        edges.begin(), std::upper_bound(edges.begin(), edges.end(), v)));
+    EXPECT_EQ(branchless_bin(edges.data(),
+                             static_cast<std::uint32_t>(edges.size()), v),
+              expected)
+        << "v=" << v;
+  }
+  // Empty edge list: everything is bin 0.
+  EXPECT_EQ(branchless_bin(edges.data(), 0, 3.0), 0u);
+}
+
+TEST(Binned, BinAssignmentMonotoneAndEdgeValueRoundTrips) {
+  const Dataset data = spread_column(512, 40);
+  const BinnedMatrix binned(data, 16);
+  // Monotone: sorting rows by raw value sorts their bins.
+  std::vector<std::size_t> order(data.n_rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data.at(a, 0) < data.at(b, 0);
+  });
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    EXPECT_LE(binned.bin(order[k], 0), binned.bin(order[k + 1], 0));
+  }
+  // edge_value round trip, quantile path (distinct > max_bins): edges are
+  // data values and bin = #{edges <= v}, so "bin <= b" is exactly
+  // "v < edge_value(b)" — a row equal to the stored threshold sits right.
+  for (std::size_t b = 0; b + 1 < binned.bin_count(0); ++b) {
+    const double threshold = binned.edge_value(0, b);
+    for (std::size_t i = 0; i < data.n_rows(); ++i) {
+      EXPECT_EQ(binned.bin(i, 0) <= b, data.at(i, 0) < threshold)
+          << "row " << i << " bin-edge " << b;
+    }
+  }
+
+  // Midpoint path (distinct <= max_bins): edges fall strictly between
+  // data values, so the inference rule "v <= threshold goes left" and the
+  // training rule "bin <= b goes left" route every data row identically.
+  const Dataset narrow = spread_column(512, 12);
+  const BinnedMatrix mid(narrow, 16);
+  for (std::size_t b = 0; b + 1 < mid.bin_count(0); ++b) {
+    const double threshold = mid.edge_value(0, b);
+    for (std::size_t i = 0; i < narrow.n_rows(); ++i) {
+      EXPECT_EQ(mid.bin(i, 0) <= b, narrow.at(i, 0) <= threshold)
+          << "row " << i << " midpoint-edge " << b;
+    }
+  }
+}
+
+TEST(Binned, CodeWidthBoundaryAt256Bins) {
+  // 600 distinct values: the quantile path emits budget-1 distinct edges,
+  // so bin_count == max_bins exactly.
+  const Dataset data = spread_column(1200, 600);
+  const BinnedMatrix narrow(data, 256);
+  EXPECT_EQ(narrow.bin_count(0), 256u);
+  EXPECT_TRUE(narrow.narrow());
+
+  const BinnedMatrix wide(data, 257);
+  EXPECT_EQ(wide.bin_count(0), 257u);
+  EXPECT_FALSE(wide.narrow());
+
+  // Same bins either width; codes<> returns the matching column pointer.
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    EXPECT_EQ(narrow.codes<std::uint8_t>(0)[i], narrow.bin(i, 0));
+    EXPECT_EQ(wide.codes<std::uint16_t>(0)[i], wide.bin(i, 0));
+  }
+}
+
+TEST(Binned, DegenerateColumns) {
+  // No rows: one trivial bin, no edges.
+  const Dataset empty({{"x0", ColumnKind::kNumeric}});
+  const BinnedMatrix binned_empty(empty, 16);
+  EXPECT_EQ(binned_empty.rows(), 0u);
+  EXPECT_EQ(binned_empty.bin_count(0), 1u);
+
+  // Constant column: nothing to split, all rows share bin 0.
+  const BinnedMatrix constant(one_column(std::vector<double>(64, 3.5)), 16);
+  EXPECT_EQ(constant.bin_count(0), 1u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(constant.bin(i, 0), 0u);
+
+  // All-missing column, legacy: folds to the constant -1.0 — one bin.
+  const std::vector<double> all_missing(64, kMissing);
+  const BinnedMatrix legacy(one_column(all_missing), 16,
+                            MissingPolicy::kMinusOne);
+  EXPECT_EQ(legacy.bin_count(0), 1u);
+
+  // All-missing column, reserved: only the sentinel edge; every row lands
+  // in the reserved bin 0.
+  const BinnedMatrix reserved(one_column(all_missing), 16,
+                              MissingPolicy::kReservedBin);
+  EXPECT_EQ(reserved.bin_count(0), 2u);
+  EXPECT_EQ(reserved.edge_value(0, 0), kReservedMissingEdge);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(reserved.bin(i, 0), 0u);
+}
+
+TEST(Binned, MissingCollisionBothWays) {
+  // Rows 0..9 missing, rows 10..19 a legitimate -1.0, rest spread values.
+  std::vector<double> values;
+  for (int i = 0; i < 10; ++i) values.push_back(kMissing);
+  for (int i = 0; i < 10; ++i) values.push_back(-1.0);
+  for (int i = 0; i < 40; ++i) values.push_back(static_cast<double>(i));
+  const Dataset data = one_column(values);
+
+  // Legacy: NaN and -1.0 collide in one bin (the historical behavior).
+  const BinnedMatrix legacy(data, 32, MissingPolicy::kMinusOne);
+  EXPECT_EQ(legacy.bin(0, 0), legacy.bin(10, 0));
+
+  // Reserved: missing alone owns bin 0; the real -1.0 sits above it.
+  const BinnedMatrix reserved(data, 32, MissingPolicy::kReservedBin);
+  EXPECT_EQ(reserved.bin(0, 0), 0u);
+  EXPECT_GE(reserved.bin(10, 0), 1u);
+  EXPECT_NE(reserved.bin(0, 0), reserved.bin(10, 0));
+  // The reserved split threshold is the sentinel, below every real value.
+  EXPECT_EQ(reserved.edge_value(0, 0), kReservedMissingEdge);
+}
+
+TEST(Binned, ReservedBinLetsGbtSeparateMissingFromMinusOne) {
+  // Label is "was the cell missing": indistinguishable from a -1.0 value
+  // under the legacy mapping, fully separable with the reserved bin.
+  std::vector<double> values;
+  std::vector<int> labels;
+  util::Rng rng(73);
+  for (int i = 0; i < 400; ++i) {
+    if (i % 2 == 0) {
+      values.push_back(kMissing);
+      labels.push_back(1);
+    } else {
+      values.push_back(i % 4 == 1 ? -1.0 : rng.uniform(-1.0, 1.0));
+      labels.push_back(0);
+    }
+  }
+  const Dataset data = one_column(values, labels);
+
+  GbtParams params;
+  params.n_estimators = 8;
+  params.max_depth = 3;
+
+  // Legacy flag off: scoring a missing cell and a -1.0 cell is the SAME
+  // traversal (missing reads as -1.0) — collision by construction.
+  GradientBoostedTrees legacy(params);
+  legacy.fit(data);
+  const double nan_row[1] = {kMissing};
+  const double minus_one_row[1] = {-1.0};
+  EXPECT_EQ(legacy.score(nan_row), legacy.score(minus_one_row));
+
+  // Reserved bin on: the model splits missing from present and scores the
+  // two rows on opposite sides.
+  params.missing_reserved_bin = true;
+  GradientBoostedTrees reserved(params);
+  reserved.fit(data);
+  EXPECT_GT(reserved.score(nan_row), 0.9);
+  EXPECT_LT(reserved.score(minus_one_row), 0.1);
+  // Batch (compiled) path agrees with the scalar path on missing rows —
+  // the -inf surrogate is plumbed through every kernel.
+  std::vector<double> batch(data.n_rows());
+  reserved.score_batch(data, batch);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const double row[1] = {values[i]};
+    EXPECT_EQ(batch[i], reserved.score(row)) << "row " << i;
+  }
+}
+
+TEST(Binned, ReservedFlagRoundTripsThroughModelIo) {
+  std::vector<double> values;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(i % 3 == 0 ? kMissing : static_cast<double>(i));
+    labels.push_back(i % 3 == 0 ? 1 : 0);
+  }
+  const Dataset data = one_column(values, labels);
+  GbtParams params;
+  params.n_estimators = 4;
+  params.max_depth = 3;
+  params.missing_reserved_bin = true;
+  GradientBoostedTrees model(params);
+  model.fit(data);
+
+  const auto loaded = gbt_from_json(gbt_to_json(model));
+  EXPECT_TRUE(loaded->params().missing_reserved_bin);
+  const double nan_row[1] = {kMissing};
+  EXPECT_EQ(loaded->score(nan_row), model.score(nan_row));
+  EXPECT_EQ(gbt_to_json(*loaded).dump(2), gbt_to_json(model).dump(2));
+}
+
+TEST(BinCache, HitMissAndValueDeterminism) {
+  BinCache& cache = BinCache::instance();
+  cache.clear();
+
+  const Dataset data = spread_column(300, 37);
+  const auto first = cache.get_or_build(data, 16, MissingPolicy::kMinusOne);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Same content again — including through a COPY of the dataset (keying
+  // is by value, not address): both hit and share the instance.
+  const auto second = cache.get_or_build(data, 16, MissingPolicy::kMinusOne);
+  std::vector<std::size_t> all(data.n_rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const Dataset copy = data.subset(all);
+  const auto third = cache.get_or_build(copy, 16, MissingPolicy::kMinusOne);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(third.get(), first.get());
+
+  // Different parameters are different entries.
+  const auto other_bins = cache.get_or_build(data, 8, MissingPolicy::kMinusOne);
+  const auto other_policy =
+      cache.get_or_build(data, 16, MissingPolicy::kReservedBin);
+  EXPECT_NE(other_bins.get(), first.get());
+  EXPECT_NE(other_policy.get(), first.get());
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // A cache hit is value-identical to a fresh build.
+  const BinnedMatrix fresh(data, 16, MissingPolicy::kMinusOne);
+  ASSERT_EQ(first->bin_count(0), fresh.bin_count(0));
+  EXPECT_EQ(first->edges(0), fresh.edges(0));
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    EXPECT_EQ(first->bin(i, 0), fresh.bin(i, 0));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(BinCache, FifoEvictionBeyondCapacity) {
+  BinCache& cache = BinCache::instance();
+  cache.clear();
+  const Dataset first = spread_column(100, 11);
+  (void)cache.get_or_build(first, 16, MissingPolicy::kMinusOne);
+  for (std::size_t k = 0; k < BinCache::kCapacity; ++k) {
+    (void)cache.get_or_build(spread_column(100 + k + 1, 13), 16,
+                             MissingPolicy::kMinusOne);
+  }
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, BinCache::kCapacity);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The oldest entry (first) was evicted: asking again is a miss.
+  const auto before = cache.stats().misses;
+  (void)cache.get_or_build(first, 16, MissingPolicy::kMinusOne);
+  EXPECT_EQ(cache.stats().misses, before + 1);
+  cache.clear();
+}
+
+TEST(BinCache, RepeatedGbtFitsHitTheCache) {
+  BinCache& cache = BinCache::instance();
+  cache.clear();
+  const Dataset data = spread_column(400, 29);
+  GbtParams params;
+  params.n_estimators = 4;
+  params.max_depth = 3;
+
+  GradientBoostedTrees a(params);
+  a.fit(data);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  GradientBoostedTrees b(params);
+  b.fit(data);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // The cache-hit fit produces byte-identical model output.
+  EXPECT_EQ(gbt_to_json(a).dump(2), gbt_to_json(b).dump(2));
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace scrubber::ml
