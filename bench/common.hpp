@@ -169,6 +169,22 @@ inline std::size_t curate_rules(arm::RuleSet& rules) {
   return accepted;
 }
 
+/// Minimum wall-clock seconds of `fn()` across `repeats` runs — the
+/// standard noise filter for the perf-trajectory benches. The minimum
+/// (not the mean) is the run least disturbed by the machine, which is
+/// the quantity a speedup bar should be computed from.
+template <typename Fn>
+inline double min_seconds_of(int repeats, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats || r == 0; ++r) {
+    util::Stopwatch sw;
+    fn();
+    const double seconds = sw.seconds();
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
 /// Optimization barrier for timing loops: keeps a computed value alive
 /// without `volatile` (banned by scrubber-lint — it reads like
 /// synchronization) and without perturbing the measured loop. The relaxed

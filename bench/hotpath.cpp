@@ -310,14 +310,7 @@ int main(int argc, char** argv) {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const int repeats = smoke ? 1 : 5;
   const auto best_of = [&](auto&& fn) {
-    double best = 0.0;
-    for (int r = 0; r < repeats; ++r) {
-      util::Stopwatch sw;
-      fn();
-      const double seconds = sw.seconds();
-      if (r == 0 || seconds < best) best = seconds;
-    }
-    return best;
+    return bench::min_seconds_of(repeats, fn);
   };
 
   util::JsonArray flowcache_rows;

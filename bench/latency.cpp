@@ -86,13 +86,19 @@ struct Verdicts {
 };
 
 runtime::EngineConfig engine_config(std::size_t shards,
-                                    std::size_t batch_records) {
+                                    std::size_t batch_records, bool pooled) {
   runtime::EngineConfig config;
   config.shards = shards;
   config.queue_capacity = 4096;
   config.batch_records = batch_records;
   config.backpressure = runtime::Backpressure::kBlock;
   config.collector.sampling_rate = 4;
+  if (pooled) {
+    // Zero-allocation ingest: receivers scatter into pooled slots and the
+    // fused decode→route walks them in place (the production shape).
+    config.wire_pool_slots = 4096;
+    config.wire_slot_bytes = 8192;
+  }
   return config;
 }
 
@@ -108,7 +114,7 @@ Verdicts reference_verdicts(
                                     format_detection(detection));
                               });
   runtime::Engine engine(
-      engine_config(shards, batch_records),
+      engine_config(shards, batch_records, /*pooled=*/false),
       [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
         detector.ingest_minute(minute, flows);
       });
@@ -135,14 +141,18 @@ struct WireRow {
   double target_rate = 0.0;
   std::size_t batch_records = 0;
   std::size_t shards = 0;
+  bool pooled = false;
   bool advisory = false;
 
+  // Wire-to-verdict latency: send() completing → the datagram's export
+  // minute scored and ingested by the detector.
   double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0, max_ms = 0.0;
   double achieved_send_rate = 0.0;  ///< datagrams/s the generator delivered
   double flows_per_sec = 0.0;
   double wall_seconds = 0.0;
   std::uint64_t sent = 0, received = 0;
   std::uint64_t kernel_drops = 0, ring_drops = 0, behind = 0;
+  std::uint64_t pool_fallbacks = 0, pool_highwater = 0, pool_exhausted = 0;
   bool lossless = false;
   bool verdicts_match = false;
   std::string backend;
@@ -157,11 +167,12 @@ WireRow run_wire(
     const std::vector<std::uint32_t>& wire_minutes,
     const std::vector<std::pair<std::uint32_t, bgp::UpdateMessage>>& updates,
     const Verdicts& reference, double target_rate, std::size_t batch_records,
-    std::size_t shards, unsigned hardware) {
+    std::size_t shards, bool pooled, unsigned hardware) {
   WireRow row;
   row.target_rate = target_rate;
   row.batch_records = batch_records;
   row.shards = shards;
+  row.pooled = pooled;
   row.advisory = shards > hardware;
 
   Verdicts verdicts;
@@ -174,7 +185,7 @@ WireRow run_wire(
                                     format_detection(detection));
                               });
   runtime::Engine engine(
-      engine_config(shards, batch_records),
+      engine_config(shards, batch_records, pooled),
       [&](std::uint32_t minute, std::span<const net::FlowRecord> flows) {
         detector.ingest_minute(minute, flows);
         if (completion_ns.size() <= minute) completion_ns.resize(minute + 1);
@@ -224,6 +235,9 @@ WireRow run_wire(
   row.flows_per_sec = snapshot.flows_per_sec();
   row.wall_seconds = snapshot.wall_seconds;
   row.backend = listen.backend;
+  row.pool_fallbacks = listen.pool_fallbacks;
+  row.pool_highwater = snapshot.pool_highwater;
+  row.pool_exhausted = snapshot.pool_exhausted;
   row.lossless = row.received == row.sent && row.ring_drops == 0 &&
                  snapshot.decode_errors == 0;
   row.verdicts_match = verdicts == reference;
@@ -312,6 +326,10 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1, 256};
   const std::vector<std::size_t> shard_counts =
       smoke ? std::vector<std::size_t>{1} : std::vector<std::size_t>{1, 2};
+  // Pooled (zero-allocation scatter + fused decode→route) vs the copying
+  // vector path, same sweep — the wire-to-verdict columns line up row for
+  // row so the trajectory shows what the pool buys end to end.
+  const std::vector<bool> pooled_modes = {false, true};
 
   // The reference verdict stream is configuration-independent (the
   // engine's determinism contract), so one in-process run anchors every
@@ -325,48 +343,57 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reference.minutes_merged));
 
   util::TextTable table;
-  table.set_header({"rate", "batch", "shards", "p50_ms", "p99_ms", "p99.9_ms",
-                    "flows/s", "lossless", "match"});
+  table.set_header({"rate", "batch", "shards", "pooled", "w2v_p50_ms",
+                    "w2v_p99_ms", "w2v_p99.9_ms", "flows/s", "lossless",
+                    "match"});
   util::JsonArray results;
   for (const double rate : rates) {
     for (const std::size_t batch_records : batch_counts) {
       for (const std::size_t shards : shard_counts) {
-        const WireRow row =
-            run_wire(wire, wire_minutes, trace.updates, reference, rate,
-                     batch_records, shards, hardware);
-        char rate_text[32], p50[32], p99[32], p999[32], fps[32];
-        std::snprintf(rate_text, sizeof(rate_text), "%.0f", row.target_rate);
-        std::snprintf(p50, sizeof(p50), "%.2f", row.p50_ms);
-        std::snprintf(p99, sizeof(p99), "%.2f", row.p99_ms);
-        std::snprintf(p999, sizeof(p999), "%.2f", row.p999_ms);
-        std::snprintf(fps, sizeof(fps), "%.0f", row.flows_per_sec);
-        table.add_row({row.target_rate == 0.0 ? "max" : rate_text,
-                       std::to_string(row.batch_records),
-                       std::to_string(row.shards), p50, p99, p999, fps,
-                       row.lossless ? "yes" : "NO",
-                       row.verdicts_match ? "yes" : "NO"});
+        for (const bool pooled : pooled_modes) {
+          const WireRow row =
+              run_wire(wire, wire_minutes, trace.updates, reference, rate,
+                       batch_records, shards, pooled, hardware);
+          char rate_text[32], p50[32], p99[32], p999[32], fps[32];
+          std::snprintf(rate_text, sizeof(rate_text), "%.0f", row.target_rate);
+          std::snprintf(p50, sizeof(p50), "%.2f", row.p50_ms);
+          std::snprintf(p99, sizeof(p99), "%.2f", row.p99_ms);
+          std::snprintf(p999, sizeof(p999), "%.2f", row.p999_ms);
+          std::snprintf(fps, sizeof(fps), "%.0f", row.flows_per_sec);
+          table.add_row({row.target_rate == 0.0 ? "max" : rate_text,
+                         std::to_string(row.batch_records),
+                         std::to_string(row.shards),
+                         row.pooled ? "yes" : "no", p50, p99, p999, fps,
+                         row.lossless ? "yes" : "NO",
+                         row.verdicts_match ? "yes" : "NO"});
 
-        util::Json item;
-        item.set("target_rate", row.target_rate);
-        item.set("achieved_send_rate", row.achieved_send_rate);
-        item.set("batch_records", static_cast<double>(row.batch_records));
-        item.set("shards", static_cast<double>(row.shards));
-        item.set("advisory", row.advisory);
-        item.set("backend", row.backend);
-        item.set("p50_ms", row.p50_ms);
-        item.set("p99_ms", row.p99_ms);
-        item.set("p999_ms", row.p999_ms);
-        item.set("max_ms", row.max_ms);
-        item.set("flows_per_sec", row.flows_per_sec);
-        item.set("wall_seconds", row.wall_seconds);
-        item.set("sent", static_cast<double>(row.sent));
-        item.set("received", static_cast<double>(row.received));
-        item.set("kernel_drops", static_cast<double>(row.kernel_drops));
-        item.set("ring_drops", static_cast<double>(row.ring_drops));
-        item.set("behind_deadline", static_cast<double>(row.behind));
-        item.set("lossless", row.lossless);
-        item.set("verdicts_match", row.verdicts_match);
-        results.push_back(std::move(item));
+          util::Json item;
+          item.set("target_rate", row.target_rate);
+          item.set("achieved_send_rate", row.achieved_send_rate);
+          item.set("batch_records", static_cast<double>(row.batch_records));
+          item.set("shards", static_cast<double>(row.shards));
+          item.set("pooled", row.pooled);
+          item.set("advisory", row.advisory);
+          item.set("backend", row.backend);
+          // Wire-to-verdict latency quantiles (send → minute scored).
+          item.set("p50_ms", row.p50_ms);
+          item.set("p99_ms", row.p99_ms);
+          item.set("p999_ms", row.p999_ms);
+          item.set("max_ms", row.max_ms);
+          item.set("flows_per_sec", row.flows_per_sec);
+          item.set("wall_seconds", row.wall_seconds);
+          item.set("sent", static_cast<double>(row.sent));
+          item.set("received", static_cast<double>(row.received));
+          item.set("kernel_drops", static_cast<double>(row.kernel_drops));
+          item.set("ring_drops", static_cast<double>(row.ring_drops));
+          item.set("behind_deadline", static_cast<double>(row.behind));
+          item.set("pool_fallbacks", static_cast<double>(row.pool_fallbacks));
+          item.set("pool_highwater", static_cast<double>(row.pool_highwater));
+          item.set("pool_exhausted", static_cast<double>(row.pool_exhausted));
+          item.set("lossless", row.lossless);
+          item.set("verdicts_match", row.verdicts_match);
+          results.push_back(std::move(item));
+        }
       }
     }
   }

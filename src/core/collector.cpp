@@ -79,17 +79,31 @@ void Collector::flush_before(std::uint32_t minute) {
 }
 
 void Collector::ingest(const net::SflowDatagram& datagram) {
-  check_not_in_flush("ingest");
+  ingest_samples(datagram.uptime_ms,
+                 std::span<const net::SflowFlowSample>(
+                     datagram.samples.data(), datagram.samples.size()));
+}
+
+void Collector::ingest_samples(std::uint32_t uptime_ms,
+                               std::span<const net::SflowFlowSample> samples) {
+  check_not_in_flush("ingest_samples");
   ++datagrams_;
-  const auto minute = static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
+  const auto minute = static_cast<std::uint32_t>(uptime_ms / 60'000);
   if (minute < flushed_before_) {
-    // The bin this datagram belongs to was already emitted (the shard fell
-    // behind an externally advanced watermark); dropping keeps every
+    // The bin this sub-datagram belongs to was already emitted (the shard
+    // fell behind an externally advanced watermark); dropping keeps every
     // minute batch emitted exactly once.
     ++late_datagrams_;
     return;
   }
-  net::ingest_datagram(datagram, cache_);
+  // Inline net::ingest_datagram over the borrowed span: stamp timestamps
+  // from the export uptime, source member from the sampler's input port.
+  for (const net::SflowFlowSample& sample : samples) {
+    net::PacketHeader packet = sample.packet;
+    packet.timestamp_ms = uptime_ms;
+    packet.ingress_member = sample.input_port;
+    cache_.add(packet);
+  }
   watermark_min_ = std::max(watermark_min_, minute);
   // The watermark/horizon pair is the collector's clock: both only move
   // forward, and the horizon trails the watermark by the reorder slack.

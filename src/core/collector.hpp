@@ -55,6 +55,15 @@ class Collector {
   /// re-opening the closed bin.
   void ingest(const net::SflowDatagram& datagram);
 
+  /// Ingests one sub-datagram's worth of samples without materializing an
+  /// SflowDatagram: `uptime_ms` plays the datagram header's role (minute
+  /// binning, late-drop accounting, timestamp stamping) and counts as one
+  /// datagram. Semantically identical to ingest() of a datagram carrying
+  /// exactly these samples — the fused wire path feeds shards through
+  /// this overload.
+  void ingest_samples(std::uint32_t uptime_ms,
+                      std::span<const net::SflowFlowSample> samples);
+
   /// Ingests sFlow wire bytes. Throws net::SflowDecodeError on bad input.
   void ingest_wire(const std::vector<std::uint8_t>& wire);
 

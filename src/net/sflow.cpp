@@ -204,6 +204,10 @@ std::vector<std::uint8_t> SflowDatagram::encode() const {
 }
 
 SflowDatagram SflowDatagram::decode(const std::vector<std::uint8_t>& wire) {
+  return decode(std::span<const std::uint8_t>(wire.data(), wire.size()));
+}
+
+SflowDatagram SflowDatagram::decode(std::span<const std::uint8_t> wire) {
   Reader r(wire.data(), wire.size());
   if (r.u32() != kVersion) throw SflowDecodeError("unsupported sFlow version");
   if (r.u32() != kAddressIpv4)
@@ -252,6 +256,20 @@ SflowDatagram SflowDatagram::decode(const std::vector<std::uint8_t>& wire) {
   SCRUBBER_ASSERT(out.samples.size() <= sample_count,
                   "decoded more flow samples than the datagram declared");
   return out;
+}
+
+const char* decode_status_name(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadAddressFamily: return "bad-address-family";
+    case DecodeStatus::kBadHeaderProtocol: return "bad-header-protocol";
+    case DecodeStatus::kShortHeaderClip: return "short-header-clip";
+    case DecodeStatus::kNotEthernetIpv4: return "not-ethernet-ipv4";
+    case DecodeStatus::kNotIpv4: return "not-ipv4";
+  }
+  return "unknown";
 }
 
 void ingest_datagram(const SflowDatagram& datagram, FlowCache& cache) {

@@ -11,8 +11,10 @@
 //
 // Reference: sFlow.org, "sFlow Version 5" (July 2004).
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -53,11 +55,209 @@ struct SflowDatagram {
   /// SflowDecodeError on malformed input.
   [[nodiscard]] static SflowDatagram decode(const std::vector<std::uint8_t>& wire);
 
+  /// Same decoder over a borrowed byte window (pooled wire slots).
+  [[nodiscard]] static SflowDatagram decode(std::span<const std::uint8_t> wire);
+
   friend bool operator==(const SflowDatagram&, const SflowDatagram&) = default;
 };
 
 /// Feeds every flow sample of a datagram into a FlowCache, stamping packet
 /// timestamps from the datagram uptime (collector behavior).
 void ingest_datagram(const SflowDatagram& datagram, FlowCache& cache);
+
+// --- in-place, non-throwing decode (the wire hot path) --------------------
+//
+// SflowDatagram::decode above is the oracle: it materializes a datagram
+// and throws on malformed input. The serving path cannot afford either —
+// a hostile flood would pay one C++ unwind per bad datagram and one heap
+// vector per good one — so SflowView::decode walks the same wire bytes
+// with zero copies, reports malformation as a status code, and hands each
+// accepted sample to a caller-supplied emitter (which the sharded router
+// uses to append straight into per-shard batches). The walk mirrors the
+// oracle field-for-field and check-for-check; the fuzz parity suite
+// (tests/net/sflow_inplace_parity_test.cpp) holds the two bit-identical
+// on hostile corpora.
+
+/// Outcome of an in-place decode; one code per oracle throw site. The
+/// first error in walk order wins, exactly as the oracle's first throw.
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,          ///< oracle: "truncated sFlow datagram"
+  kBadVersion,         ///< oracle: "unsupported sFlow version"
+  kBadAddressFamily,   ///< oracle: "unsupported agent address family"
+  kBadHeaderProtocol,  ///< oracle: "unsupported header protocol"
+  kShortHeaderClip,    ///< oracle: "raw header clip too short"
+  kNotEthernetIpv4,    ///< oracle: "raw header is not IPv4 over Ethernet"
+  kNotIpv4,            ///< oracle: "not an IPv4 header"
+};
+
+/// Human-readable name (bench/test reporting).
+[[nodiscard]] const char* decode_status_name(DecodeStatus status) noexcept;
+
+/// The datagram header fields, decoded in place (no sample storage).
+struct SflowHeaderView {
+  Ipv4Address agent;
+  std::uint32_t sub_agent_id = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t uptime_ms = 0;
+  std::uint32_t sample_count = 0;  ///< declared by the wire, not validated
+};
+
+namespace sflow_detail {
+
+// Wire constants, mirrored from the oracle in sflow.cpp (which keeps its
+// own copies so the oracle text stays untouched).
+inline constexpr std::uint32_t kWireVersion = 5;
+inline constexpr std::uint32_t kWireAddressIpv4 = 1;
+inline constexpr std::uint32_t kWireSampleFlow = 1;
+inline constexpr std::uint32_t kWireRecordRawPacket = 1;
+inline constexpr std::uint32_t kWireHeaderEthernet = 1;
+inline constexpr std::uint32_t kWireRawHeaderBytes = 14 + 20 + 8;
+
+// scrubber-hot-begin
+// Non-throwing big-endian reads over bare pointer pairs. Cursor state
+// lives in the caller's locals (pointer + window end), NOT in a struct:
+// a cursor object whose members are mutated through `this` keeps its
+// state memory-resident across every read, and measured ~8x slower than
+// this shape at -O2 (the compiler scalarizes plain local pointers into
+// registers; it gives up on the address-taken aggregate).
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+[[nodiscard]] inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+/// Reads one XDR word, advancing `p`; false = truncated (caller maps to
+/// DecodeStatus::kTruncated so the first short read wins, exactly as the
+/// oracle's first throw).
+[[nodiscard]] inline bool read_u32(const std::uint8_t*& p,
+                                   const std::uint8_t* end,
+                                   std::uint32_t& v) noexcept {
+  if (end - p < 4) return false;
+  v = load_be32(p);
+  p += 4;
+  return true;
+}
+// scrubber-hot-end
+
+}  // namespace sflow_detail
+
+/// Zero-copy sFlow v5 decoder. See the section comment above.
+class SflowView {
+ public:
+  /// Walks `wire` in place: fills `header`, then calls
+  /// `emit(const SflowFlowSample&)` once per accepted flow sample, in
+  /// wire order. On any error returns the matching status — the caller
+  /// must then discard (roll back) everything emitted for this datagram,
+  /// because the oracle rejects a malformed datagram wholesale. The
+  /// emitted sample references stack storage valid only for the call.
+  // scrubber-hot-begin
+  template <typename Emit>
+  [[nodiscard]] static DecodeStatus decode(std::span<const std::uint8_t> wire,
+                                           SflowHeaderView& header,
+                                           Emit&& emit) {
+    namespace d = sflow_detail;
+    const std::uint8_t* p = wire.data();
+    const std::uint8_t* const end = p + wire.size();
+    std::uint32_t word = 0;
+    if (!d::read_u32(p, end, word)) return DecodeStatus::kTruncated;
+    if (word != d::kWireVersion) return DecodeStatus::kBadVersion;
+    if (!d::read_u32(p, end, word)) return DecodeStatus::kTruncated;
+    if (word != d::kWireAddressIpv4) return DecodeStatus::kBadAddressFamily;
+    if (!d::read_u32(p, end, word)) return DecodeStatus::kTruncated;
+    header.agent = Ipv4Address(word);
+    if (!d::read_u32(p, end, header.sub_agent_id)) return DecodeStatus::kTruncated;
+    if (!d::read_u32(p, end, header.sequence)) return DecodeStatus::kTruncated;
+    if (!d::read_u32(p, end, header.uptime_ms)) return DecodeStatus::kTruncated;
+    if (!d::read_u32(p, end, header.sample_count)) return DecodeStatus::kTruncated;
+
+    for (std::uint32_t s = 0; s < header.sample_count; ++s) {
+      std::uint32_t sample_type = 0;
+      std::uint32_t sample_length = 0;
+      if (!d::read_u32(p, end, sample_type)) return DecodeStatus::kTruncated;
+      if (!d::read_u32(p, end, sample_length)) return DecodeStatus::kTruncated;
+      // Carve the length-prefixed sample window (padded to the XDR word
+      // boundary, uint32 wrap as the oracle). The child window lies inside
+      // the parent, so no parse path reads past the datagram whatever an
+      // adversarial length field says.
+      const std::size_t sample_padded = (sample_length + 3) & ~3U;
+      if (static_cast<std::size_t>(end - p) < sample_padded) {
+        return DecodeStatus::kTruncated;
+      }
+      const std::uint8_t* b = p;
+      const std::uint8_t* const bend = p + sample_padded;
+      p = bend;
+      if (sample_type != d::kWireSampleFlow) continue;  // counter samples
+
+      SflowFlowSample sample;
+      if (!d::read_u32(b, bend, sample.sequence)) return DecodeStatus::kTruncated;
+      if (!d::read_u32(b, bend, word)) return DecodeStatus::kTruncated;  // source id
+      if (!d::read_u32(b, bend, sample.sampling_rate)) return DecodeStatus::kTruncated;
+      if (!d::read_u32(b, bend, sample.sample_pool)) return DecodeStatus::kTruncated;
+      if (!d::read_u32(b, bend, word)) return DecodeStatus::kTruncated;  // drops
+      if (!d::read_u32(b, bend, sample.input_port)) return DecodeStatus::kTruncated;
+      if (!d::read_u32(b, bend, sample.output_port)) return DecodeStatus::kTruncated;
+      std::uint32_t record_count = 0;
+      if (!d::read_u32(b, bend, record_count)) return DecodeStatus::kTruncated;
+      bool have_packet = false;
+      for (std::uint32_t k = 0; k < record_count; ++k) {
+        std::uint32_t record_type = 0;
+        std::uint32_t record_length = 0;
+        if (!d::read_u32(b, bend, record_type)) return DecodeStatus::kTruncated;
+        if (!d::read_u32(b, bend, record_length)) return DecodeStatus::kTruncated;
+        const std::size_t record_padded = (record_length + 3) & ~3U;
+        if (static_cast<std::size_t>(bend - b) < record_padded) {
+          return DecodeStatus::kTruncated;
+        }
+        const std::uint8_t* rec = b;
+        const std::uint8_t* const rend = b + record_padded;
+        b = rend;
+        if (record_type != d::kWireRecordRawPacket) continue;
+        if (!d::read_u32(rec, rend, word)) return DecodeStatus::kTruncated;
+        if (word != d::kWireHeaderEthernet) {
+          return DecodeStatus::kBadHeaderProtocol;
+        }
+        std::uint32_t frame_length = 0;
+        if (!d::read_u32(rec, rend, frame_length)) return DecodeStatus::kTruncated;
+        if (!d::read_u32(rec, rend, word)) return DecodeStatus::kTruncated;  // stripped
+        std::uint32_t header_bytes = 0;
+        if (!d::read_u32(rec, rend, header_bytes)) return DecodeStatus::kTruncated;
+        if (header_bytes < d::kWireRawHeaderBytes) {
+          return DecodeStatus::kShortHeaderClip;
+        }
+        if (static_cast<std::size_t>(rend - rec) < header_bytes) {
+          return DecodeStatus::kTruncated;
+        }
+        // Ethernet + IPv4 + L4 stub at fixed offsets: the exact field walk
+        // of the oracle's parse_raw_header, with the per-field truncation
+        // checks dropped because the two guards above prove the window
+        // holds header_bytes >= 42 bytes. Value checks keep the oracle's
+        // throw order: ethertype before IP version.
+        const std::uint8_t* const h = rec;
+        static_assert(d::kWireRawHeaderBytes == 42);
+        if (d::load_be16(h + 12) != 0x0800) {
+          return DecodeStatus::kNotEthernetIpv4;
+        }
+        if ((h[14] >> 4) != 4) return DecodeStatus::kNotIpv4;
+        PacketHeader packet;
+        packet.ingress_member = d::load_be32(h + 8);
+        packet.length = d::load_be16(h + 16);  // IPv4 total length
+        packet.protocol = h[23];
+        packet.src_ip = Ipv4Address(d::load_be32(h + 26));
+        packet.dst_ip = Ipv4Address(d::load_be32(h + 30));
+        packet.src_port = d::load_be16(h + 34);
+        packet.dst_port = d::load_be16(h + 36);
+        packet.tcp_flags = h[40];
+        sample.packet = packet;
+        have_packet = true;  // last raw-packet record wins, as the oracle
+      }
+      if (have_packet) emit(static_cast<const SflowFlowSample&>(sample));
+    }
+    return DecodeStatus::kOk;
+  }
+  // scrubber-hot-end
+};
 
 }  // namespace scrubber::net

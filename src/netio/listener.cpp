@@ -20,13 +20,15 @@ std::string ListenerSnapshot::summary() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "listener[%s]: datagrams=%llu bytes=%llu batches=%llu "
-                "ring_full_drops=%llu kernel_drops=%llu fin=%d expected=%llu",
+                "ring_full_drops=%llu kernel_drops=%llu pool_fallbacks=%llu "
+                "fin=%d expected=%llu",
                 backend.c_str(),
                 static_cast<unsigned long long>(stage.items_in),
                 static_cast<unsigned long long>(bytes),
                 static_cast<unsigned long long>(recv_batches),
                 static_cast<unsigned long long>(stage.drops),
-                static_cast<unsigned long long>(kernel_drops), fin_seen,
+                static_cast<unsigned long long>(kernel_drops),
+                static_cast<unsigned long long>(pool_fallbacks), fin_seen,
                 static_cast<unsigned long long>(expected_datagrams));
   return line;
 }
@@ -41,7 +43,8 @@ UdpListener::UdpListener(ListenerConfig config, runtime::Engine& engine,
   if (config_.backend == RecvBackend::kAuto ||
       config_.backend == RecvBackend::kIoUring) {
     receiver_ = make_uring_receiver(socket_, config_.batch_msgs,
-                                    config_.max_datagram_bytes);
+                                    config_.max_datagram_bytes,
+                                    engine_.wire_pool());
     if (receiver_ == nullptr && config_.backend == RecvBackend::kIoUring) {
       throw NetioError(
           "io_uring receive backend unavailable (kernel too old or "
@@ -57,7 +60,8 @@ UdpListener::UdpListener(ListenerConfig config, runtime::Engine& engine,
 #endif
   if (receiver_ == nullptr) {
     receiver_ = make_mmsg_receiver(socket_, config_.batch_msgs,
-                                   config_.max_datagram_bytes);
+                                   config_.max_datagram_bytes,
+                                   engine_.wire_pool());
   }
 }
 
@@ -113,8 +117,21 @@ void UdpListener::run() {
           minute_feed_(*minute);
         }
       }
-      if (engine_.push_wire(
-              std::vector<std::uint8_t>(wire.begin(), wire.end()))) {
+      bool pushed;
+      if (frames[i].slot) {
+        // Zero-copy: the datagram already sits in a pooled buffer; move
+        // the slot into the engine (it recycles after the in-place walk,
+        // or on drop when the rejected event is destroyed).
+        pushed = engine_.push_wire(std::move(frames[i].slot));
+      } else {
+        if (engine_.wire_pool() != nullptr) {
+          // Pool ran dry at arm time; this datagram pays the copy.
+          pool_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        pushed = engine_.push_wire(
+            std::vector<std::uint8_t>(wire.begin(), wire.end()));
+      }
+      if (pushed) {
         listen_.add_out();
       } else {
         listen_.add_drop();  // ring full under kDrop: wire loss, counted
@@ -138,6 +155,7 @@ ListenerSnapshot UdpListener::stats() const {
   snap.bytes = bytes_.load(std::memory_order_relaxed);
   snap.recv_batches = recv_batches_.load(std::memory_order_relaxed);
   snap.kernel_drops = receiver_->kernel_drops();
+  snap.pool_fallbacks = pool_fallbacks_.load(std::memory_order_relaxed);
   snap.fin_seen = fin_seen_.load(std::memory_order_relaxed);
   snap.expected_datagrams =
       expected_datagrams_.load(std::memory_order_relaxed);

@@ -69,6 +69,10 @@ struct ListenerSnapshot {
   std::uint64_t bytes = 0;          ///< wire bytes received
   std::uint64_t recv_batches = 0;   ///< non-empty receive batches
   std::uint64_t kernel_drops = 0;   ///< socket-buffer drops (SO_RXQ_OVFL)
+  /// Datagrams copied through the scratch path because the wire pool was
+  /// dry at arm time (0 when the engine has no pool — every datagram
+  /// copies then, but nothing "fell back").
+  std::uint64_t pool_fallbacks = 0;
   bool fin_seen = false;
   std::uint64_t expected_datagrams = 0;  ///< sender total from the sentinel
   std::string backend;              ///< "recvmmsg" or "io_uring"
@@ -122,6 +126,7 @@ class UdpListener {
   std::atomic<std::uint64_t> expected_datagrams_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> recv_batches_{0};
+  std::atomic<std::uint64_t> pool_fallbacks_{0};
   runtime::StageCounters listen_;
 };
 

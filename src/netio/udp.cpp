@@ -118,14 +118,16 @@ namespace {
 class MmsgReceiver final : public BatchReceiver {
  public:
   MmsgReceiver(UdpSocket& socket, std::size_t batch_msgs,
-               std::size_t max_datagram_bytes)
+               std::size_t max_datagram_bytes, runtime::WireBufferPool* pool)
       : socket_(socket),
         batch_(batch_msgs == 0 ? 1 : batch_msgs),
         max_bytes_(max_datagram_bytes),
+        pool_(pool),
         storage_(batch_ * max_bytes_),
         controls_(batch_ * kControlBytes),
         iovecs_(batch_),
-        headers_(batch_) {
+        headers_(batch_),
+        armed_(batch_) {
     for (std::size_t i = 0; i < batch_; ++i) {
       iovecs_[i].iov_base = storage_.data() + i * max_bytes_;
       iovecs_[i].iov_len = max_bytes_;
@@ -148,8 +150,20 @@ class MmsgReceiver final : public BatchReceiver {
     }
     const auto want =
         static_cast<unsigned>(std::min(frames.size(), batch_));
-    // Reset control lengths (recvmmsg shrinks them per message).
+    // Reset control lengths (recvmmsg shrinks them per message) and point
+    // each message at a pooled slot when one is available — the kernel
+    // then scatters the datagram straight into the buffer that will ride
+    // the input ring, copy-free. A dry pool falls back to scratch storage
+    // for that message (the caller copies, counted as a pool fallback).
     for (std::size_t i = 0; i < want; ++i) {
+      if (pool_ != nullptr && !armed_[i]) armed_[i] = pool_->try_acquire();
+      if (armed_[i]) {
+        iovecs_[i].iov_base = armed_[i].data();
+        iovecs_[i].iov_len = armed_[i].capacity();
+      } else {
+        iovecs_[i].iov_base = storage_.data() + i * max_bytes_;
+        iovecs_[i].iov_len = max_bytes_;
+      }
       headers_[i].msg_hdr.msg_controllen = kControlBytes;
       headers_[i].msg_hdr.msg_iov = &iovecs_[i];
       headers_[i].msg_hdr.msg_iovlen = 1;
@@ -160,11 +174,19 @@ class MmsgReceiver final : public BatchReceiver {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
       throw_errno("recvmmsg");
     }
-    for (int i = 0; i < got; ++i) {
-      frames[static_cast<std::size_t>(i)] = RecvFrame{
-          storage_.data() + static_cast<std::size_t>(i) * max_bytes_,
-          headers_[static_cast<std::size_t>(i)].msg_len};
-      note_drop_counter(headers_[static_cast<std::size_t>(i)].msg_hdr);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+      RecvFrame& frame = frames[i];
+      if (armed_[i]) {
+        armed_[i].set_size(headers_[i].msg_len);
+        frame.data = armed_[i].data();
+        frame.size = headers_[i].msg_len;
+        frame.slot = std::move(armed_[i]);  // next call re-acquires
+      } else {
+        frame.data = storage_.data() + i * max_bytes_;
+        frame.size = headers_[i].msg_len;
+        frame.slot.release();
+      }
+      note_drop_counter(headers_[i].msg_hdr);
     }
     return static_cast<std::size_t>(got);
   }
@@ -195,20 +217,22 @@ class MmsgReceiver final : public BatchReceiver {
   UdpSocket& socket_;
   std::size_t batch_;
   std::size_t max_bytes_;
+  runtime::WireBufferPool* pool_;
   std::vector<std::uint8_t> storage_;
   std::vector<std::uint8_t> controls_;
   std::vector<iovec> iovecs_;
   std::vector<mmsghdr> headers_;
+  std::vector<runtime::WireSlot> armed_;  ///< slot staged per message index
   std::uint64_t kernel_drops_ = 0;
 };
 
 }  // namespace
 
 std::unique_ptr<BatchReceiver> make_mmsg_receiver(
-    UdpSocket& socket, std::size_t batch_msgs,
-    std::size_t max_datagram_bytes) {
-  return std::make_unique<MmsgReceiver>(socket, batch_msgs,
-                                        max_datagram_bytes);
+    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes,
+    runtime::WireBufferPool* pool) {
+  return std::make_unique<MmsgReceiver>(socket, batch_msgs, max_datagram_bytes,
+                                        pool);
 }
 
 }  // namespace scrubber::netio

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/wire_pool.hpp"
+
 namespace scrubber::netio {
 
 /// Error thrown on socket/syscall failures (message carries errno text).
@@ -66,11 +68,15 @@ class UdpSocket {
   int fd_ = -1;
 };
 
-/// One received datagram; views a buffer owned by the BatchReceiver and
-/// valid only until its next recv_batch() call.
+/// One received datagram. Without a buffer pool, `data` views scratch
+/// storage owned by the BatchReceiver, valid only until its next
+/// recv_batch() call. With a pool, `slot` owns the pooled buffer `data`
+/// points into — move the slot onward (Engine::push_wire) for the
+/// zero-copy path, or let it drop to recycle. Move-only once filled.
 struct RecvFrame {
   const std::uint8_t* data = nullptr;
   std::size_t size = 0;
+  runtime::WireSlot slot;
 
   [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
     return {data, size};
@@ -96,17 +102,23 @@ class BatchReceiver {
 };
 
 /// recvmmsg()-based receiver: poll() for readiness, then drain up to
-/// `batch_msgs` datagrams in a single syscall.
+/// `batch_msgs` datagrams in a single syscall. With a non-null `pool` the
+/// kernel scatters each datagram straight into a pooled slot (handed out
+/// via RecvFrame::slot); when the pool runs dry the receiver falls back
+/// to its scratch storage for that message.
 [[nodiscard]] std::unique_ptr<BatchReceiver> make_mmsg_receiver(
-    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes);
+    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes,
+    runtime::WireBufferPool* pool = nullptr);
 
 #if SCRUBBER_IO_URING
 /// io_uring-based receiver: `batch_msgs` RECVMSG submissions stay armed in
 /// the kernel; completions are harvested from the completion ring. Returns
 /// nullptr when the kernel refuses (old kernel, seccomp) — callers fall
-/// back to make_mmsg_receiver.
+/// back to make_mmsg_receiver. `pool` as in make_mmsg_receiver; pooled
+/// buffers stay pinned while their submission is armed in the kernel.
 [[nodiscard]] std::unique_ptr<BatchReceiver> make_uring_receiver(
-    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes);
+    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes,
+    runtime::WireBufferPool* pool = nullptr);
 #endif  // SCRUBBER_IO_URING
 
 // --- wire framing helpers -------------------------------------------------

@@ -51,14 +51,16 @@ void store_release(std::uint32_t* word, std::uint32_t value) noexcept {
 class UringReceiver final : public BatchReceiver {
  public:
   UringReceiver(UdpSocket& socket, std::size_t batch_msgs,
-                std::size_t max_datagram_bytes)
+                std::size_t max_datagram_bytes, runtime::WireBufferPool* pool)
       : socket_(socket),
         batch_(batch_msgs == 0 ? 1 : batch_msgs),
         max_bytes_(max_datagram_bytes),
+        pool_(pool),
         storage_(batch_ * max_bytes_),
         controls_(batch_ * kControlBytes),
         iovecs_(batch_),
         messages_(batch_),
+        armed_(batch_),
         needs_arm_(batch_, true) {
     for (std::size_t i = 0; i < batch_; ++i) {
       iovecs_[i].iov_base = storage_.data() + i * max_bytes_;
@@ -151,8 +153,20 @@ class UringReceiver final : public BatchReceiver {
       const io_uring_cqe& cqe = cqes_[head & cq_mask_];
       const auto slot = static_cast<std::size_t>(cqe.user_data);
       if (cqe.res >= 0 && slot < batch_) {
-        frames[got++] = RecvFrame{storage_.data() + slot * max_bytes_,
-                                  static_cast<std::size_t>(cqe.res)};
+        RecvFrame& frame = frames[got++];
+        const auto bytes = static_cast<std::size_t>(cqe.res);
+        if (armed_[slot]) {
+          // The kernel wrote straight into the pooled buffer this slot
+          // pinned while armed; hand it off and re-acquire at re-arm.
+          armed_[slot].set_size(bytes);
+          frame.data = armed_[slot].data();
+          frame.size = bytes;
+          frame.slot = std::move(armed_[slot]);
+        } else {
+          frame.data = storage_.data() + slot * max_bytes_;
+          frame.size = bytes;
+          frame.slot.release();
+        }
         note_drop_counter(messages_[slot]);
       }
       if (slot < batch_) needs_arm_[slot] = true;
@@ -178,11 +192,23 @@ class UringReceiver final : public BatchReceiver {
   }
 
   void arm_slot(std::size_t slot) noexcept {
-    // Reset the lengths RECVMSG completion shrank.
+    // Reset the lengths RECVMSG completion shrank, and stage a pooled
+    // buffer when available — it stays pinned (owned by armed_[slot])
+    // until the completion hands it off, so the kernel never writes into
+    // a recycled buffer. Dry pool: scratch storage for this arming.
+    if (pool_ != nullptr && !armed_[slot]) {
+      armed_[slot] = pool_->try_acquire();
+    }
+    if (armed_[slot]) {
+      iovecs_[slot].iov_base = armed_[slot].data();
+      iovecs_[slot].iov_len = armed_[slot].capacity();
+    } else {
+      iovecs_[slot].iov_base = storage_.data() + slot * max_bytes_;
+      iovecs_[slot].iov_len = max_bytes_;
+    }
     messages_[slot].msg_iov = &iovecs_[slot];
     messages_[slot].msg_iovlen = 1;
     messages_[slot].msg_controllen = kControlBytes;
-    iovecs_[slot].iov_len = max_bytes_;
     const std::uint32_t tail = load_acquire(sq_tail_);
     const std::uint32_t index = tail & sq_mask_;
     auto* sqe = static_cast<io_uring_sqe*>(sqes_) + index;
@@ -209,10 +235,12 @@ class UringReceiver final : public BatchReceiver {
   UdpSocket& socket_;
   std::size_t batch_;
   std::size_t max_bytes_;
+  runtime::WireBufferPool* pool_;
   std::vector<std::uint8_t> storage_;
   std::vector<std::uint8_t> controls_;
   std::vector<iovec> iovecs_;
   std::vector<msghdr> messages_;
+  std::vector<runtime::WireSlot> armed_;  ///< buffer pinned while armed
   std::vector<bool> needs_arm_;
 
   int ring_fd_ = -1;
@@ -234,10 +262,10 @@ class UringReceiver final : public BatchReceiver {
 }  // namespace
 
 std::unique_ptr<BatchReceiver> make_uring_receiver(
-    UdpSocket& socket, std::size_t batch_msgs,
-    std::size_t max_datagram_bytes) {
+    UdpSocket& socket, std::size_t batch_msgs, std::size_t max_datagram_bytes,
+    runtime::WireBufferPool* pool) {
   auto receiver = std::make_unique<UringReceiver>(socket, batch_msgs,
-                                                  max_datagram_bytes);
+                                                  max_datagram_bytes, pool);
   if (!receiver->init()) return nullptr;
   return receiver;
 }

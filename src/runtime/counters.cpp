@@ -28,7 +28,16 @@ std::string EngineSnapshot::stats_line() const {
                 static_cast<unsigned long long>(late_drops),
                 static_cast<unsigned long long>(decode_errors),
                 flows_per_sec());
-  return line;
+  std::string out = line;
+  if (pool_slots > 0) {
+    std::snprintf(line, sizeof(line), " pool=%llu/%llu hiwat=%llu dry=%llu",
+                  static_cast<unsigned long long>(pool_in_use),
+                  static_cast<unsigned long long>(pool_slots),
+                  static_cast<unsigned long long>(pool_highwater),
+                  static_cast<unsigned long long>(pool_exhausted));
+    out += line;
+  }
+  return out;
 }
 
 std::string EngineSnapshot::report() const {
@@ -47,6 +56,16 @@ std::string EngineSnapshot::report() const {
                 static_cast<unsigned long long>(late_drops),
                 static_cast<unsigned long long>(decode_errors));
   out += line;
+  if (pool_slots > 0) {
+    std::snprintf(line, sizeof(line),
+                  "wire pool: %llu slots, in_use=%llu highwater=%llu "
+                  "exhausted=%llu\n",
+                  static_cast<unsigned long long>(pool_slots),
+                  static_cast<unsigned long long>(pool_in_use),
+                  static_cast<unsigned long long>(pool_highwater),
+                  static_cast<unsigned long long>(pool_exhausted));
+    out += line;
+  }
   for (const StageSnapshot& stage : stages) {
     std::snprintf(line, sizeof(line),
                   "  stage %-8s in=%-10llu out=%-10llu drops=%-6llu "

@@ -85,6 +85,11 @@ struct EngineSnapshot {
   std::uint64_t late_drops = 0;     ///< shard-side late-datagram drops
   std::uint64_t flows_out = 0;      ///< labeled flows delivered to the sink
   std::uint64_t minutes_merged = 0; ///< minute batches emitted in order
+  // Wire buffer pool occupancy (all zero when the pool is disabled).
+  std::uint64_t pool_slots = 0;     ///< configured pool capacity
+  std::uint64_t pool_in_use = 0;    ///< slots currently in flight
+  std::uint64_t pool_highwater = 0; ///< deepest in-flight occupancy seen
+  std::uint64_t pool_exhausted = 0; ///< acquires that found the pool empty
   std::vector<StageSnapshot> stages;
 
   [[nodiscard]] double flows_per_sec() const noexcept {

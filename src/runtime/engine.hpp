@@ -35,6 +35,7 @@
 #include "runtime/counters.hpp"
 #include "runtime/ring.hpp"
 #include "runtime/sharded_collector.hpp"
+#include "runtime/wire_pool.hpp"
 
 namespace scrubber::runtime {
 
@@ -52,6 +53,16 @@ struct EngineConfig {
   /// Records per ring batch (clamped by effective_batch_records so small
   /// test queues still exercise backpressure); 1 = single-record transfer.
   std::size_t batch_records = kDefaultBatchRecords;
+  /// When > 0 the engine owns a WireBufferPool of this many slots and
+  /// receivers scatter datagrams straight into pooled buffers (see
+  /// wire_pool.hpp) — the zero-allocation ingest path. 0 disables it.
+  std::size_t wire_pool_slots = 0;
+  /// Capacity of each pooled slot; must hold the largest datagram.
+  std::size_t wire_slot_bytes = 8192;
+  /// Bench/test knob: decode wire events with the throwing oracle decoder
+  /// (materialize SflowDatagram, then route) instead of the fused in-place
+  /// walk. Output is bit-identical either way; only the cost differs.
+  bool use_oracle_decoder = false;
 };
 
 /// Multi-threaded decode → shard → collect → merge → score pipeline.
@@ -72,6 +83,18 @@ class Engine {
   /// Returns false iff dropped (kDrop).
   bool push_wire(std::vector<std::uint8_t> wire);
 
+  /// Enqueues raw sFlow wire bytes living in a pooled slot — no copy, no
+  /// allocation; the slot recycles after the decode worker walks it (and
+  /// on drop, when the event is destroyed). Returns false iff dropped.
+  bool push_wire(WireSlot slot);
+
+  /// The engine's wire buffer pool, or nullptr when wire_pool_slots == 0.
+  /// Receivers acquire slots here; slots they hand to push_wire flow
+  /// through the ring and recycle automatically.
+  [[nodiscard]] WireBufferPool* wire_pool() noexcept {
+    return wire_pool_.get();
+  }
+
   /// Enqueues a BGP update. Updates are control-plane state the labels
   /// depend on, so they always block — never dropped, either policy.
   void push_bgp(bgp::UpdateMessage update, std::uint64_t now_ms);
@@ -85,10 +108,13 @@ class Engine {
 
  private:
   struct InputEvent {
-    enum class Kind : std::uint8_t { kDatagram, kWire, kBgp, kFinish };
+    enum class Kind : std::uint8_t {
+      kDatagram, kWire, kPooledWire, kBgp, kFinish
+    };
     Kind kind = Kind::kDatagram;
     net::SflowDatagram datagram;
     std::vector<std::uint8_t> wire;
+    WireSlot slot;  ///< kPooledWire payload (recycles on event destruction)
     bgp::UpdateMessage update;
     std::uint64_t now_ms = 0;
   };
@@ -113,10 +139,17 @@ class Engine {
 
   EngineConfig config_;
   core::MinuteBatchSink minute_sink_;
+  /// Declared before every ring: rings may hold InputEvents carrying
+  /// WireSlots at teardown, and slot destructors recycle into the pool —
+  /// reverse destruction order keeps the pool alive until they ran.
+  std::unique_ptr<WireBufferPool> wire_pool_;
   std::size_t batch_records_;   ///< effective records per input batch
   InputBatch pending_;          ///< producer thread only
   SpscRing<InputBatch> input_ring_;
   SpscRing<ScoreItem> score_ring_;
+  /// Drained input batches flowing back from the decode worker to the
+  /// producer so event-vector capacity is reused, not reallocated.
+  SpscRing<InputBatch> batch_recycle_;
   std::unique_ptr<ShardedCollector> sharded_;
   std::thread decode_thread_;
   std::thread score_thread_;

@@ -80,10 +80,24 @@ ShardedCollector::~ShardedCollector() {
   }
 }
 
+ShardMessage ShardedCollector::fresh_data_message(std::size_t s) {
+  ShardMessage recycled;
+  if (shards_[s]->recycle.try_pop(recycled)) {
+    // Drained batch coming back from the worker: vectors are already
+    // cleared (POD/trivial payloads, so clear() kept their capacity) and
+    // steady state appends allocate nothing.
+    recycled.kind = ShardMessage::Kind::kData;
+    recycled.subs.clear();
+    recycled.samples.clear();
+    return recycled;
+  }
+  return ShardMessage{};
+}
+
 void ShardedCollector::flush_shard(std::size_t s) {
-  if (pending_[s].datagrams.empty()) return;
+  if (pending_[s].subs.empty()) return;
   ShardMessage message = std::move(pending_[s]);
-  pending_[s] = ShardMessage{};
+  pending_[s] = fresh_data_message(s);
   pending_samples_[s] = 0;
   shards_[s]->ring.push_blocking(std::move(message), abort_);
   collect_.note_queue_depth(shards_[s]->ring.size() * batch_records_);
@@ -101,36 +115,40 @@ void ShardedCollector::broadcast(ShardMessage message) {
   }
 }
 
-void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
-  // Split the datagram's samples into per-shard sub-datagrams appended to
-  // each shard's open batch. Shard identity comes from the raw
-  // destination IP (pre-anonymization), so a victim's flows always land
-  // in one shard.
-  const std::size_t n = shards_.size();
-  collect_.add_in(datagram.samples.size());
-  if (n == 1) {
-    pending_[0].datagrams.push_back(datagram);
-    pending_samples_[0] += datagram.samples.size();
-  } else {
-    ++ingest_seq_;
-    for (const auto& sample : datagram.samples) {
-      const std::size_t s = shard_of(sample.packet.dst_ip, n);
-      if (sub_mark_[s] != ingest_seq_) {
-        // First sample of this source datagram routed to shard s: open a
-        // fresh sub-datagram carrying the source header (uptime_ms is
-        // what drives minute binning downstream).
-        sub_mark_[s] = ingest_seq_;
-        net::SflowDatagram sub;
-        sub.agent = datagram.agent;
-        sub.sub_agent_id = datagram.sub_agent_id;
-        sub.sequence = datagram.sequence;
-        sub.uptime_ms = datagram.uptime_ms;
-        pending_[s].datagrams.push_back(std::move(sub));
-      }
-      pending_[s].datagrams.back().samples.push_back(sample);
-      ++pending_samples_[s];
-    }
+void ShardedCollector::route_begin(net::Ipv4Address agent,
+                                   std::uint32_t sub_agent_id,
+                                   std::uint32_t sequence,
+                                   std::uint32_t uptime_ms) {
+  ++ingest_seq_;
+  route_agent_ = agent;
+  route_sub_agent_id_ = sub_agent_id;
+  route_sequence_ = sequence;
+  route_uptime_ms_ = uptime_ms;
+}
+
+void ShardedCollector::route_sample(const net::SflowFlowSample& sample) {
+  // Shard identity comes from the raw destination IP (pre-anonymization),
+  // so a victim's flows always land in one shard.
+  const std::size_t s = shard_of(sample.packet.dst_ip, shards_.size());
+  ShardMessage& open = pending_[s];
+  if (sub_mark_[s] != ingest_seq_) {
+    // First sample of this source datagram routed to shard s: open a
+    // fresh sub-datagram carrying the source header (uptime_ms is what
+    // drives minute binning downstream).
+    sub_mark_[s] = ingest_seq_;
+    open.subs.push_back(ShardSubDatagram{
+        route_agent_, route_sub_agent_id_, route_sequence_, route_uptime_ms_,
+        static_cast<std::uint32_t>(open.samples.size()), 0});
   }
+  open.samples.push_back(sample);
+  ++open.subs.back().sample_count;
+  ++pending_samples_[s];
+}
+
+void ShardedCollector::route_commit(std::uint32_t uptime_ms,
+                                    std::size_t sample_total) {
+  collect_.add_in(sample_total);
+  const std::size_t n = shards_.size();
   for (std::size_t s = 0; s < n; ++s) {
     if (pending_samples_[s] >= batch_records_) flush_shard(s);
   }
@@ -139,7 +157,7 @@ void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
   // quiet shards close their minutes too (and ack to the merge barrier).
   // broadcast() flushes all pending batches first, so no shard sees the
   // punctuation before the data that precedes it in the stream.
-  const auto minute = static_cast<std::uint32_t>(datagram.uptime_ms / 60'000);
+  const auto minute = static_cast<std::uint32_t>(uptime_ms / 60'000);
   if (minute > watermark_min_) {
     watermark_min_ = minute;
     ShardMessage punct;
@@ -147,6 +165,60 @@ void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
     punct.minute = minute;
     broadcast(std::move(punct));
   }
+}
+
+void ShardedCollector::route_rollback() {
+  // Unwind every sub-datagram the current (failed) datagram opened. Safe
+  // because route_sample never flushes — a partially routed datagram sits
+  // wholly at the tail of each touched shard's open batch.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (sub_mark_[s] != ingest_seq_) continue;
+    const ShardSubDatagram& sub = pending_[s].subs.back();
+    SCRUBBER_ASSERT(pending_samples_[s] >= sub.sample_count,
+                    "route rollback would underflow a shard's sample count");
+    pending_samples_[s] -= sub.sample_count;
+    pending_[s].samples.resize(sub.first_sample);
+    pending_[s].subs.pop_back();
+    sub_mark_[s] = 0;  // ingest_seq_ is pre-incremented, so 0 never matches
+  }
+}
+
+void ShardedCollector::ingest(const net::SflowDatagram& datagram) {
+  // Split the datagram's samples into per-shard sub-datagrams appended to
+  // each shard's open batch (the same cursor the fused wire path drives,
+  // so both paths produce bit-identical shard streams).
+  route_begin(datagram.agent, datagram.sub_agent_id, datagram.sequence,
+              datagram.uptime_ms);
+  for (const auto& sample : datagram.samples) route_sample(sample);
+  route_commit(datagram.uptime_ms, datagram.samples.size());
+}
+
+net::DecodeStatus ShardedCollector::ingest_wire(
+    std::span<const std::uint8_t> wire) {
+  net::SflowHeaderView header;
+  bool begun = false;
+  std::size_t emitted = 0;
+  const net::DecodeStatus status = net::SflowView::decode(
+      wire, header, [&](const net::SflowFlowSample& sample) {
+        if (!begun) {
+          // Header fields are fully parsed before the first sample emits.
+          begun = true;
+          route_begin(header.agent, header.sub_agent_id, header.sequence,
+                      header.uptime_ms);
+        }
+        route_sample(sample);
+        ++emitted;
+      });
+  if (status != net::DecodeStatus::kOk) {
+    // Mirror the throwing path, where the error fires before ingest():
+    // shard batches end up exactly as if the datagram never arrived.
+    if (begun) route_rollback();
+    return status;
+  }
+  // Commit even with zero routed samples so the watermark advances
+  // exactly as decode-then-ingest() of the same (empty) datagram would.
+  route_commit(header.uptime_ms, emitted);
+  return net::DecodeStatus::kOk;
 }
 
 void ShardedCollector::ingest_bgp(const bgp::UpdateMessage& update,
@@ -236,9 +308,18 @@ void ShardedCollector::shard_worker(std::size_t index) {
     const std::uint64_t begin = now_ns();
     switch (message.kind) {
       case ShardMessage::Kind::kData:
-        for (const net::SflowDatagram& sub : message.datagrams) {
-          collector.ingest(sub);
+        for (const ShardSubDatagram& sub : message.subs) {
+          collector.ingest_samples(
+              sub.uptime_ms,
+              std::span<const net::SflowFlowSample>(
+                  message.samples.data() + sub.first_sample, sub.sample_count));
         }
+        // Hand the drained batch back to the router: clear() keeps both
+        // vectors' capacity (trivial payloads), so steady-state routing
+        // allocates nothing. A full recycle ring just drops the batch.
+        message.subs.clear();
+        message.samples.clear();
+        (void)self.recycle.try_push(std::move(message));
         break;
       case ShardMessage::Kind::kBgp:
         collector.ingest_bgp(message.update, message.now_ms);

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -65,15 +66,31 @@ struct ShardedCollectorConfig {
   std::size_t batch_records = kDefaultBatchRecords;
 };
 
+/// One source datagram's contribution to one shard: the header fields the
+/// collector needs (uptime_ms drives minute binning and late-drop
+/// accounting, so samples are never merged across source datagrams) plus
+/// a span into ShardMessage::samples. POD — recycled batches keep their
+/// capacity across clear().
+struct ShardSubDatagram {
+  net::Ipv4Address agent;
+  std::uint32_t sub_agent_id = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t uptime_ms = 0;
+  std::uint32_t first_sample = 0;  ///< index into ShardMessage::samples
+  std::uint32_t sample_count = 0;
+};
+
 /// Work item delivered to one shard worker.
 struct ShardMessage {
   enum class Kind : std::uint8_t { kData, kBgp, kAdvance, kFinish };
   Kind kind = Kind::kData;
-  /// kData: a batch of this shard's sub-datagrams, in stream order. One
-  /// sub-datagram per source datagram (uptime_ms drives minute binning
-  /// and late-drop accounting, so samples are never merged across
-  /// source datagrams).
-  std::vector<net::SflowDatagram> datagrams;
+  /// kData: this shard's sub-datagrams in stream order; sub-datagram i
+  /// owns samples [first_sample, first_sample + sample_count). Flat
+  /// layout (two vectors, no per-datagram vector) so the fused
+  /// decode→route path appends samples with zero per-datagram
+  /// allocation and recycled messages keep both capacities.
+  std::vector<ShardSubDatagram> subs;
+  std::vector<net::SflowFlowSample> samples;
   bgp::UpdateMessage update;    ///< kBgp
   std::uint64_t now_ms = 0;     ///< kBgp: observation time
   std::uint32_t minute = 0;     ///< kAdvance: router watermark
@@ -101,6 +118,16 @@ class ShardedCollector {
   /// watermark when it advances. Blocks while shard rings are full.
   void ingest(const net::SflowDatagram& datagram);
 
+  /// Fused decode→route: walks the sFlow wire bytes in place and appends
+  /// each sample straight into its shard's open batch — no SflowDatagram
+  /// materialization, no route-stage copy. On a decode error the partial
+  /// route is rolled back (shard batches are exactly as if the datagram
+  /// never arrived, matching the throwing-decode path where the error
+  /// fires before ingest) and the status is returned. Produces
+  /// bit-identical shard streams to decode-then-ingest() for any wire.
+  [[nodiscard]] net::DecodeStatus ingest_wire(
+      std::span<const std::uint8_t> wire);
+
   /// Broadcasts one BGP update to every shard (each keeps a full registry).
   void ingest_bgp(const bgp::UpdateMessage& update, std::uint64_t now_ms);
 
@@ -125,8 +152,13 @@ class ShardedCollector {
 
  private:
   struct Shard {
-    explicit Shard(std::size_t capacity) : ring(capacity) {}
+    explicit Shard(std::size_t capacity)
+        : ring(capacity), recycle(capacity + 4) {}
     SpscRing<ShardMessage> ring;
+    /// Drained kData messages flowing back to the router so batch
+    /// capacity is reused instead of reallocated (worker pushes, router
+    /// pops — SPSC in the reverse direction).
+    SpscRing<ShardMessage> recycle;
     std::atomic<std::uint64_t> late{0};
     std::thread thread;
   };
@@ -139,6 +171,21 @@ class ShardedCollector {
   /// Pushes shard `s`'s pending batch into its ring (blocking) and
   /// resets the accumulator. No-op when empty.
   void flush_shard(std::size_t s);
+  /// Replacement accumulator for shard `s`: a recycled kData message
+  /// (cleared, capacity kept) when one is available, else a fresh one.
+  [[nodiscard]] ShardMessage fresh_data_message(std::size_t s);
+
+  // --- route cursor (producer thread only) ---
+  // ingest() and ingest_wire() drive the same four-step cursor, so both
+  // paths produce bit-identical shard streams: begin stamps the datagram
+  // header, sample appends one sample to its shard (opening a
+  // sub-datagram on first touch), commit does the post-datagram flush /
+  // watermark work, rollback unwinds a partially routed datagram.
+  void route_begin(net::Ipv4Address agent, std::uint32_t sub_agent_id,
+                   std::uint32_t sequence, std::uint32_t uptime_ms);
+  void route_sample(const net::SflowFlowSample& sample);
+  void route_commit(std::uint32_t uptime_ms, std::size_t sample_total);
+  void route_rollback();
 
   ShardedCollectorConfig config_;
   core::MinuteBatchSink sink_;
@@ -153,6 +200,11 @@ class ShardedCollector {
   std::vector<std::size_t> pending_samples_;
   std::vector<std::uint64_t> sub_mark_;
   std::uint64_t ingest_seq_ = 0;
+  // Header of the datagram currently being routed (route_begin → commit).
+  net::Ipv4Address route_agent_{};
+  std::uint32_t route_sub_agent_id_ = 0;
+  std::uint32_t route_sequence_ = 0;
+  std::uint32_t route_uptime_ms_ = 0;
   std::uint32_t watermark_min_ = 0;  ///< router watermark (producer thread)
   bool finished_ = false;            ///< producer thread only
   std::atomic<bool> abort_{false};

@@ -1,0 +1,29 @@
+#pragma once
+// Fixture: scrubber-hot-path-throw — no unwinding between the hot
+// markers; the same construct outside the region is allowed (cold-path
+// configuration may throw all it wants).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fixture {
+
+class WireParser {
+ public:
+  // scrubber-hot-begin
+  std::uint32_t parse(const std::uint8_t* data, std::size_t size) {
+    if (size < 4) {
+      throw std::length_error("truncated");  // EXPECT-LINT: scrubber-hot-path-throw
+    }
+    return data[0];
+  }
+  // scrubber-hot-end
+
+  /// Cold path: rejecting a bad config by unwinding is fine out here, so
+  /// none of these lines may fire.
+  void configure(int depth) {
+    if (depth < 0) throw std::length_error("bad depth");
+  }
+};
+
+}  // namespace fixture

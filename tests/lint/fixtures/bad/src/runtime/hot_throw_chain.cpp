@@ -1,0 +1,18 @@
+// Fixture: scrubber-transitive (throw) — the hot region itself looks
+// exception-free; the throw hides one call away in another TU
+// (throw_helpers.cpp). The diagnostic must land on the root call site.
+
+namespace fixture {
+
+int parse_or_throw(int n);
+
+struct ThrowingDecoder {
+  int consume(int n) {
+    // scrubber-hot-begin
+    const int value = parse_or_throw(n);  // EXPECT-LINT: scrubber-transitive
+    // scrubber-hot-end
+    return value;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: cross-TU helper for the transitive throw chain. The hot
+// caller lives in runtime/hot_throw_chain.cpp; the unwind lives here, in
+// a file with no hot region of its own (so nothing fires in this file —
+// the chain surfaces it at the root call site).
+
+namespace fixture {
+
+int parse_or_throw(int n) {
+  if (n < 0) throw n;  // unwinding, surfaced only through the chain
+  return n * 2;
+}
+
+}  // namespace fixture

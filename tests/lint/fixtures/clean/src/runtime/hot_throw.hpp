@@ -1,0 +1,37 @@
+#pragma once
+// Fixture: the clean mirror of bad/src/runtime/hot_throw.hpp — the hot
+// decode path reports malformed input as a status value, and the one
+// deliberate unwind (a checked-build invariant) is suppressed at the
+// throw site with a justification.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+enum class ParseStatus { kOk, kTruncated };
+
+class WireParser {
+ public:
+  // scrubber-hot-begin
+  ParseStatus parse(const std::uint8_t* data, std::size_t size) {
+    if (size < 4) return ParseStatus::kTruncated;
+    last_ = data[0];
+    return ParseStatus::kOk;
+  }
+  void check_invariant(bool ok) {
+    // NOLINTNEXTLINE(scrubber-hot-path-throw): checked-build invariant — unreachable when callers honor the parse() status
+    if (!ok) throw last_;
+  }
+  // scrubber-hot-end
+
+  /// Cold path: constructors and config may unwind; the rule is scoped
+  /// to the region.
+  void configure(int depth) {
+    if (depth < 0) throw depth;
+  }
+
+ private:
+  std::uint8_t last_ = 0;
+};
+
+}  // namespace fixture

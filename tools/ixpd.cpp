@@ -7,7 +7,8 @@
 //        [--agg-threads N] [--simd auto|scalar|avx2]
 //        [--stats-every 240] [--warmup 1440] [--retrain 1440]
 //   ixpd --listen <port> [--bind 127.0.0.1] [--backend auto|recvmmsg|io_uring]
-//        [--recv-batch 32] [--idle-stop-ms 0] --profile ... --minutes ...
+//        [--recv-batch 32] [--idle-stop-ms 0] [--pool-slots 4096]
+//        --profile ... --minutes ...
 //
 // The daemon replays a seeded synthetic trace (the repo's stand-in for the
 // IXP's sFlow + BGP feeds, DESIGN.md §1) as fast as the engine accepts it:
@@ -134,6 +135,13 @@ int run(int argc, char** argv) {
   engine_config.collector.sampling_rate = sampling;
   engine_config.batch_records =
       static_cast<std::size_t>(args.number("batch", runtime::kDefaultBatchRecords));
+  // Pooled wire buffers for --listen mode: the receiver scatters datagrams
+  // straight into pool slots and the ring carries handles — the
+  // zero-allocation ingest path (DESIGN.md §15). 0 reverts to copying each
+  // datagram into a heap vector; ignored without --listen. The heartbeat
+  // and final report show pool occupancy/highwater/exhaustion when active.
+  engine_config.wire_pool_slots = static_cast<std::size_t>(args.number(
+      "pool-slots", args.get("listen", "").empty() ? 0 : 4096));
 
   core::LiveDetectorConfig detector_config;
   detector_config.warmup_min =

@@ -140,6 +140,7 @@ bool is_hot_category(Category category) {
     case Category::Blocking:
     case Category::Socket:
     case Category::Container:
+    case Category::Throw:
       return true;
     default:
       return false;
@@ -158,6 +159,8 @@ const char* category_label(Category category) {
       return "socket syscall";
     case Category::Container:
       return "node-based container";
+    case Category::Throw:
+      return "throw expression";
     case Category::DetRand:
       return "unseeded randomness";
     case Category::DetClock:
@@ -205,6 +208,10 @@ void collect_primitives(const LexedFile& file, std::size_t begin,
     }
     if (socket_set().count(s) > 0) {
       out.push_back(Primitive{Category::Socket, s, t[i].line});
+      continue;
+    }
+    if (s == "throw") {
+      out.push_back(Primitive{Category::Throw, s, t[i].line});
       continue;
     }
     if (det_rand_set().count(s) > 0) {

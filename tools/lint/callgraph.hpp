@@ -32,6 +32,7 @@ enum class Category {
   Blocking,      ///< hot: locks, condvars, sleeps, futures
   Socket,        ///< hot: socket syscalls (exempt for src/netio/ roots)
   Container,     ///< hot: node-based std::map / std::unordered_*
+  Throw,         ///< hot: throw expressions (unwinding off the wire path)
   DetRand,       ///< det: unseeded randomness
   DetClock,      ///< det: wall/steady clock reads
   DetUnordered,  ///< det: unordered-container use (iteration order)

@@ -148,6 +148,31 @@ void rule_hot_path_alloc(const LexedFile& f, Sink& sink) {
   }
 }
 
+/// scrubber-hot-path-throw: inside // scrubber-hot-begin/end regions no
+/// throw expressions — the wire hot path is exception-free. Unwinding
+/// tears down per-record state the pool/ring protocols rely on, and a
+/// throw in a noexcept decode kernel is std::terminate. Report errors as
+/// values (net::DecodeStatus) and let the cold path decide. Unbalanced
+/// region markers are diagnosed by scrubber-hot-path-blocking and
+/// skipped here.
+void rule_hot_path_throw(const LexedFile& f, Sink& sink) {
+  if (f.hot_regions.empty()) return;
+  for (const Region& region : f.hot_regions) {
+    if (region.begin_line == 0 || region.end_line == 0) continue;
+    for (const Token& token : f.tokens) {
+      if (token.line <= region.begin_line || token.line >= region.end_line) {
+        continue;
+      }
+      if (token.is_identifier && token.text == "throw") {
+        add(sink, f, token.line, "scrubber-hot-path-throw",
+            "`throw` inside a scrubber-hot region — the wire hot path is "
+            "exception-free (return a status value like net::DecodeStatus "
+            "instead of unwinding)");
+      }
+    }
+  }
+}
+
 /// scrubber-hot-path-container: the flow hot path must not touch
 /// node-based associative containers. std::map / std::unordered_map /
 /// std::unordered_set are banned (i) inside scrubber-hot regions in any
@@ -418,6 +443,7 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kRules = {
       "scrubber-memory-order",    "scrubber-hot-path-blocking",
       "scrubber-hot-path-alloc",  "scrubber-hot-path-container",
+      "scrubber-hot-path-throw",
       "scrubber-raw-rand",        "scrubber-raw-thread",
       "scrubber-float-counter",   "scrubber-naked-new",
       "scrubber-include-guard",   "scrubber-banned-construct",
@@ -453,6 +479,7 @@ void run_file_rules(const LexedFile& file, Sink& sink) {
   rule_hot_path_blocking(file, sink);
   rule_hot_path_alloc(file, sink);
   rule_hot_path_container(file, sink);
+  rule_hot_path_throw(file, sink);
   rule_raw_rand(file, sink);
   rule_raw_thread(file, sink);
   rule_float_counter(file, sink);
